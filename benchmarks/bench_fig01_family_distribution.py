@@ -1,0 +1,12 @@
+"""Figure 1: distribution of malware families (top 25)."""
+
+from repro.analysis.families import family_distribution
+from repro.reporting import render_fig_1
+
+from .common import save_artifact
+
+
+def test_fig01_family_distribution(benchmark, labeled):
+    distribution = benchmark(family_distribution, labeled)
+    assert distribution.top_families
+    save_artifact("fig01_family_distribution", render_fig_1(labeled))

@@ -1,0 +1,12 @@
+"""Figure 2: prevalence of the downloaded software files."""
+
+from repro.analysis.prevalence import prevalence_report
+from repro.reporting import render_fig_2
+
+from .common import save_artifact
+
+
+def test_fig02_prevalence(benchmark, labeled):
+    report = benchmark(prevalence_report, labeled)
+    assert 0.8 < report.single_machine_fraction < 1.0
+    save_artifact("fig02_prevalence", render_fig_2(labeled))

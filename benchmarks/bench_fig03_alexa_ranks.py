@@ -1,0 +1,16 @@
+"""Figure 3: Alexa ranks of benign vs malicious hosting domains."""
+
+from repro.analysis.domains import alexa_rank_distribution
+from repro.reporting import render_fig_3
+
+from .common import save_artifact
+
+
+def test_fig03_alexa_ranks(benchmark, session):
+    distribution = benchmark(
+        alexa_rank_distribution, session.labeled, session.alexa
+    )
+    assert distribution.ranks
+    save_artifact(
+        "fig03_alexa_ranks", render_fig_3(session.labeled, session.alexa)
+    )

@@ -1,0 +1,12 @@
+"""Figure 4: common signers between malicious and benign files."""
+
+from repro.analysis.signers import shared_signer_scatter
+from repro.reporting import render_fig_4
+
+from .common import save_artifact
+
+
+def test_fig04_shared_signers(benchmark, labeled):
+    scatter = benchmark(shared_signer_scatter, labeled)
+    assert scatter
+    save_artifact("fig04_shared_signers", render_fig_4(labeled))

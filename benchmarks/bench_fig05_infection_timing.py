@@ -1,0 +1,14 @@
+"""Figure 5: time delta between source download and other malware."""
+
+from repro.analysis.infection import infection_timing
+from repro.reporting import render_fig_5
+
+from .common import save_artifact
+
+
+def test_fig05_infection_timing(benchmark, labeled):
+    report = benchmark(infection_timing, labeled)
+    assert report.fraction_within("dropper", 5) > (
+        report.fraction_within("benign", 5)
+    )
+    save_artifact("fig05_infection_timing", render_fig_5(labeled))

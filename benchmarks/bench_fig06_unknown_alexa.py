@@ -1,0 +1,17 @@
+"""Figure 6: Alexa ranks of domains hosting unknown files."""
+
+from repro.analysis.domains import alexa_rank_distribution
+from repro.labeling.labels import FileLabel
+from repro.reporting import render_fig_6
+
+from .common import save_artifact
+
+
+def test_fig06_unknown_alexa(benchmark, session):
+    distribution = benchmark(
+        alexa_rank_distribution, session.labeled, session.alexa
+    )
+    assert distribution.unranked_fraction[FileLabel.UNKNOWN] > 0.4
+    save_artifact(
+        "fig06_unknown_alexa", render_fig_6(session.labeled, session.alexa)
+    )

@@ -1,0 +1,12 @@
+"""Section IV-C: packer usage statistics."""
+
+from repro.analysis.packers import packer_report
+from repro.reporting import render_packers
+
+from .common import save_artifact
+
+
+def test_packers(benchmark, labeled):
+    report = benchmark(packer_report, labeled)
+    assert report.shared_packers
+    save_artifact("packers_section4c", render_packers(labeled))

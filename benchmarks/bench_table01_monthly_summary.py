@@ -1,0 +1,12 @@
+"""Table I: monthly summary of collected download events."""
+
+from repro.analysis.summary import monthly_summary
+from repro.reporting import render_table_i
+
+from .common import save_artifact
+
+
+def test_table01_monthly_summary(benchmark, labeled):
+    rows = benchmark(monthly_summary, labeled)
+    assert len(rows) == 8
+    save_artifact("table01_monthly_summary", render_table_i(labeled))

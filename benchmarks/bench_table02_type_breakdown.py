@@ -1,0 +1,12 @@
+"""Table II: breakdown of malicious files per behavior type."""
+
+from repro.analysis.families import type_breakdown
+from repro.reporting import render_table_ii
+
+from .common import save_artifact
+
+
+def test_table02_type_breakdown(benchmark, labeled):
+    rows = benchmark(type_breakdown, labeled)
+    assert sum(row.count for row in rows) == len(labeled.file_types)
+    save_artifact("table02_type_breakdown", render_table_ii(labeled))

@@ -1,0 +1,12 @@
+"""Table III: domains with highest download popularity."""
+
+from repro.analysis.domains import domain_popularity
+from repro.reporting import render_table_iii
+
+from .common import save_artifact
+
+
+def test_table03_domain_popularity(benchmark, labeled):
+    popularity = benchmark(domain_popularity, labeled)
+    assert popularity.overall
+    save_artifact("table03_domain_popularity", render_table_iii(labeled))

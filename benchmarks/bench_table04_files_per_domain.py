@@ -1,0 +1,12 @@
+"""Table IV: number of files served per domain."""
+
+from repro.analysis.domains import files_per_domain
+from repro.reporting import render_table_iv
+
+from .common import save_artifact
+
+
+def test_table04_files_per_domain(benchmark, labeled):
+    report = benchmark(files_per_domain, labeled)
+    assert report.shared_domains
+    save_artifact("table04_files_per_domain", render_table_iv(labeled))

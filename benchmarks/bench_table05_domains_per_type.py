@@ -1,0 +1,12 @@
+"""Table V: popular download domains per type of malicious file."""
+
+from repro.analysis.domains import domains_per_type
+from repro.reporting import render_table_v
+
+from .common import save_artifact
+
+
+def test_table05_domains_per_type(benchmark, labeled):
+    per_type = benchmark(domains_per_type, labeled)
+    assert per_type
+    save_artifact("table05_domains_per_type", render_table_v(labeled))

@@ -1,0 +1,13 @@
+"""Table VI: percentage of signed files per type."""
+
+from repro.analysis.signers import signed_percentages
+from repro.reporting import render_table_vi
+
+from .common import save_artifact
+
+
+def test_table06_signed_percent(benchmark, labeled):
+    rows = benchmark(signed_percentages, labeled)
+    by_group = {row.group: row for row in rows}
+    assert by_group["dropper"].signed_pct > by_group["banker"].signed_pct
+    save_artifact("table06_signed_percent", render_table_vi(labeled))

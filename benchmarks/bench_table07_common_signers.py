@@ -1,0 +1,12 @@
+"""Table VII: common signers among malicious file types."""
+
+from repro.analysis.signers import signer_counts
+from repro.reporting import render_table_vii
+
+from .common import save_artifact
+
+
+def test_table07_common_signers(benchmark, labeled):
+    rows, total = benchmark(signer_counts, labeled)
+    assert total.common_with_benign <= total.signers
+    save_artifact("table07_common_signers", render_table_vii(labeled))

@@ -1,0 +1,12 @@
+"""Table VIII: top signers of different file types."""
+
+from repro.analysis.signers import top_signers
+from repro.reporting import render_table_viii
+
+from .common import save_artifact
+
+
+def test_table08_top_signers(benchmark, labeled):
+    rows = benchmark(top_signers, labeled)
+    assert any(row.group == "benign" for row in rows)
+    save_artifact("table08_top_signers", render_table_viii(labeled))

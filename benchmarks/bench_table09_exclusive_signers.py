@@ -1,0 +1,12 @@
+"""Table IX: top exclusively benign/malicious signers."""
+
+from repro.analysis.signers import exclusive_signers
+from repro.reporting import render_table_ix
+
+from .common import save_artifact
+
+
+def test_table09_exclusive_signers(benchmark, labeled):
+    report = benchmark(exclusive_signers, labeled)
+    assert report.malicious
+    save_artifact("table09_exclusive_signers", render_table_ix(labeled))

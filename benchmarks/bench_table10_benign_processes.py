@@ -1,0 +1,13 @@
+"""Table X: download behavior of benign processes."""
+
+from repro.analysis.processes import benign_process_behavior
+from repro.labeling.labels import ProcessCategory
+from repro.reporting import render_table_x
+
+from .common import save_artifact
+
+
+def test_table10_benign_processes(benchmark, labeled):
+    rows = benchmark(benign_process_behavior, labeled)
+    assert ProcessCategory.BROWSER in rows
+    save_artifact("table10_benign_processes", render_table_x(labeled))

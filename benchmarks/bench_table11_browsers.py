@@ -1,0 +1,15 @@
+"""Table XI: download behavior of benign browser processes."""
+
+from repro.analysis.processes import browser_behavior
+from repro.labeling.labels import Browser
+from repro.reporting import render_table_xi
+
+from .common import save_artifact
+
+
+def test_table11_browsers(benchmark, labeled):
+    rows = benchmark(browser_behavior, labeled)
+    assert rows[Browser.CHROME].infected_machine_pct > (
+        rows[Browser.IE].infected_machine_pct
+    )
+    save_artifact("table11_browsers", render_table_xi(labeled))

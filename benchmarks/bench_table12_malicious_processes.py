@@ -1,0 +1,12 @@
+"""Table XII: download behavior of malicious processes."""
+
+from repro.analysis.processes import malicious_process_behavior
+from repro.reporting import render_table_xii
+
+from .common import save_artifact
+
+
+def test_table12_malicious_processes(benchmark, labeled):
+    rows = benchmark(malicious_process_behavior, labeled)
+    assert None in rows  # the Overall row
+    save_artifact("table12_malicious_processes", render_table_xii(labeled))

@@ -1,0 +1,12 @@
+"""Table XIII: top 10 download domains of unknown files."""
+
+from repro.analysis.domains import unknown_download_domains
+from repro.reporting import render_table_xiii
+
+from .common import save_artifact
+
+
+def test_table13_unknown_domains(benchmark, labeled):
+    rows = benchmark(unknown_download_domains, labeled)
+    assert rows
+    save_artifact("table13_unknown_domains", render_table_xiii(labeled))

@@ -1,0 +1,12 @@
+"""Table XIV: categories of processes downloading unknown files."""
+
+from repro.analysis.processes import unknown_download_processes
+from repro.reporting import render_table_xiv
+
+from .common import save_artifact
+
+
+def test_table14_unknown_processes(benchmark, labeled):
+    rows = benchmark(unknown_download_processes, labeled)
+    assert rows[-1].group == "total"
+    save_artifact("table14_unknown_processes", render_table_xiv(labeled))

@@ -1,0 +1,13 @@
+"""Table XV: feature extraction over the full dataset."""
+
+from repro.core.features import FeatureExtractor
+from repro.reporting import render_table_xv
+
+from .common import save_artifact
+
+
+def test_table15_feature_extraction(benchmark, session):
+    extractor = FeatureExtractor(session.labeled, session.alexa)
+    vectors = benchmark(extractor.extract_all)
+    assert len(vectors) == len(session.dataset.files)
+    save_artifact("table15_features", render_table_xv())

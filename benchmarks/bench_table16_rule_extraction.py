@@ -1,0 +1,17 @@
+"""Table XVI: rules extracted per training month (PART learning)."""
+
+from repro.core.evaluation import learn_rules
+from repro.reporting import render_table_xvi
+
+from .common import save_artifact
+
+
+def test_table16_rule_extraction(benchmark, session, evaluation):
+    # Time PART learning on the January window; the rendered table covers
+    # every month from the shared full evaluation.
+    rules, training = benchmark(
+        learn_rules, session.labeled, session.alexa, 0
+    )
+    assert len(rules) > 10
+    assert len(training) > 100
+    save_artifact("table16_rule_extraction", render_table_xvi(evaluation))

@@ -1,0 +1,15 @@
+"""Table XVII: rule evaluation and unknown-file classification."""
+
+from repro.core.evaluation import evaluate_month_pair
+from repro.reporting import render_table_xvii
+
+from .common import save_artifact
+
+
+def test_table17_rule_evaluation(benchmark, session, evaluation):
+    # Time one full month-pair experiment (train Jan, test Feb, both taus).
+    runs = benchmark(
+        evaluate_month_pair, session.labeled, session.alexa, 0, (0.0, 0.001)
+    )
+    assert all(run.evaluation.tp_rate > 0.9 for run in runs)
+    save_artifact("table17_rule_evaluation", render_table_xvii(evaluation))

@@ -1,0 +1,15 @@
+"""Section VI-A: characteristics of unknown files."""
+
+from repro.analysis.unknowns import unknown_characteristics
+from repro.reporting import render_unknown_characteristics
+
+from .common import save_artifact
+
+
+def test_unknown_characteristics(benchmark, labeled):
+    report = benchmark(unknown_characteristics, labeled)
+    assert report.rule_reachable_fraction > 0.0
+    save_artifact(
+        "unknown_characteristics_section6a",
+        render_unknown_characteristics(labeled),
+    )

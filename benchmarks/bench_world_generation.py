@@ -1,0 +1,20 @@
+"""Throughput of the synthetic world generator and labeling pipeline."""
+
+from repro import WorldConfig, build_session
+from repro.synth import World
+
+
+def test_world_generation(benchmark):
+    config = WorldConfig(seed=3, scale=0.002)
+
+    def generate():
+        return World(config).collect()
+
+    dataset = benchmark(generate)
+    assert len(dataset.events) > 1000
+
+
+def test_full_pipeline(benchmark):
+    config = WorldConfig(seed=3, scale=0.002)
+    session = benchmark(build_session, config)
+    assert session.labeled.file_labels

@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Where rendered tables/figures are written for paper comparison.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write one reproduced table/figure under ``benchmarks/output/``."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")

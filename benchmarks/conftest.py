@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+The bench suite reproduces every paper table/figure on one shared
+synthetic corpus (``scale=0.02`` by default -- ~23k machines / ~65k
+events).  Set ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_SEED`` to override.
+
+Each benchmark times the *analysis* computation (world generation is a
+separate bench) and writes the rendered table/figure to
+``benchmarks/output/<name>.txt`` so the reproduced artifacts can be
+compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import WorldConfig, build_session
+from repro.core.evaluation import full_evaluation
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def session():
+    """The shared synthetic corpus all benches analyze."""
+    return build_session(WorldConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def labeled(session):
+    return session.labeled
+
+
+@pytest.fixture(scope="session")
+def evaluation(session):
+    """The full month-over-month rule evaluation (Tables XVI/XVII)."""
+    return full_evaluation(
+        session.labeled, session.alexa, taus=(0.0, 0.001)
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Mixed-reputation download domains (Section IV-B) and unknown files.
+
+Shows why URL/domain reputation alone cannot separate benign from
+malicious downloads: the most popular hosting portals serve both, the
+fakeav ecosystem hides in throwaway social-engineering domains, and the
+unknown long tail lives on obscure, unranked infrastructure.
+
+    python examples/domain_reputation.py [scale]
+"""
+
+import sys
+
+from repro import WorldConfig, build_session
+from repro.analysis import domain_popularity, files_per_domain
+from repro.reporting import (
+    render_fig_3,
+    render_fig_6,
+    render_table_iii,
+    render_table_iv,
+    render_table_v,
+    render_table_xiii,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Building synthetic world (scale={scale}) ...\n")
+    session = build_session(WorldConfig(seed=7, scale=scale))
+    labeled = session.labeled
+
+    print(render_table_iii(labeled))
+    popularity = domain_popularity(labeled)
+    overlap = {name for name, _ in popularity.benign} & {
+        name for name, _ in popularity.malicious
+    }
+    print(
+        f"\nDomains in BOTH the benign and malicious top-10: "
+        f"{', '.join(sorted(overlap)) or '(none)'}\n"
+        "-- the reputation-mixing problem for CAMP/Amico-style detectors.\n"
+    )
+
+    print(render_table_iv(labeled))
+    report = files_per_domain(labeled)
+    print(
+        f"\n{len(report.shared_domains)} domains served at least one benign "
+        "AND one malicious file.\n"
+    )
+
+    print(render_table_v(labeled))
+    print("\nNote the social-engineering fakeav domain names and the "
+          "streaming-service\nadware distribution, as in the paper.\n")
+
+    print(render_fig_3(labeled, session.alexa))
+    print("\nFigure 3's finding: malicious files aggressively use "
+          "higher-ranked domains\n(the popular hosting portals), while "
+          "benign software spreads over the\ncorporate long tail.\n")
+
+    print(render_table_xiii(labeled))
+    print()
+    print(render_fig_6(labeled, session.alexa))
+
+
+if __name__ == "__main__":
+    main()

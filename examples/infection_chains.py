@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""From adware/PUP to malware: infection chains and timing (Section V).
+
+Reproduces the process-behavior analyses: which benign processes download
+malware (Table X/XI), what malicious processes download next (Table XII),
+and how quickly machines that ran adware/PUPs/droppers go on to download
+more dangerous malware (Figure 5).
+
+    python examples/infection_chains.py [scale]
+"""
+
+import sys
+
+from repro import WorldConfig, build_session
+from repro.analysis import infection_timing, malicious_process_behavior
+from repro.labeling.labels import MalwareType
+from repro.reporting import (
+    fmt_pct,
+    render_fig_5,
+    render_table_x,
+    render_table_xi,
+    render_table_xii,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Building synthetic world (scale={scale}) ...\n")
+    session = build_session(WorldConfig(seed=7, scale=scale))
+    labeled = session.labeled
+
+    print(render_table_x(labeled))
+    print("\nThe paper's observation: most files downloaded by Java and "
+          "Acrobat Reader\nprocesses are malicious -- these are exploited, "
+          "not misused, applications.\n")
+
+    print(render_table_xi(labeled))
+    print()
+
+    print(render_table_xii(labeled))
+
+    rows = malicious_process_behavior(labeled)
+    for mtype in (MalwareType.RANSOMWARE, MalwareType.BANKER):
+        row = rows.get(mtype)
+        if row and row.type_mix:
+            same = row.type_mix.get(mtype, 0.0)
+            print(
+                f"\n{mtype.value} processes download {fmt_pct(100 * same)} "
+                f"{mtype.value} (paper: strong same-type propagation)"
+            )
+
+    print("\n" + render_fig_5(labeled))
+    report = infection_timing(labeled)
+    print(
+        "\nTakeaway (Section V-B): machines that run a dropper are almost "
+        "certain to\nfetch more malware within days; adware/PUP machines "
+        "follow; machines that\nonly installed benign software lag far "
+        "behind on day 0:\n"
+        f"  day-0 infection fraction -- dropper "
+        f"{report.fraction_within('dropper', 0.99):.2f}, adware "
+        f"{report.fraction_within('adware', 0.99):.2f}, pup "
+        f"{report.fraction_within('pup', 0.99):.2f}, benign "
+        f"{report.fraction_within('benign', 0.99):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Operational deployment: classify downloads as they stream in.
+
+Simulates how the paper's system runs in production (Section VI-D):
+ground truth matures with a delay (AV signatures take time), the learner
+retrains monthly on the trailing window of matured labels, and every
+incoming *unknown* download is classified -- or rejected -- on arrival.
+At the end, decisions are scored against the synthetic world's latent
+truth.
+
+    python examples/online_deployment.py [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro import FileLabel, WorldConfig, build_session
+from repro.core.dataset import BENIGN_CLASS, MALICIOUS_CLASS
+from repro.core.features import FeatureExtractor
+from repro.core.online import OnlineRuleClassifier
+
+#: Days after a file's first appearance until its VT verdict is usable.
+LABEL_MATURITY_DAYS = 14.0
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Building synthetic world (scale={scale}) ...")
+    session = build_session(WorldConfig(seed=7, scale=scale))
+    labeled = session.labeled
+    extractor = FeatureExtractor(labeled, session.alexa)
+
+    online = OnlineRuleClassifier(
+        tau=0.001, window_days=35.0, retrain_interval_days=30.0
+    )
+
+    # Pre-compute each file's feature vector (first download event).
+    vectors = extractor.extract_all()
+
+    pending = []  # (maturity_day, values, label) awaiting ground truth
+    decisions = {}
+    outcome = Counter()
+    seen_files = set()
+
+    for event in labeled.dataset.events:
+        now = event.timestamp
+        # Matured ground truth flows into the learner.
+        while pending and pending[0][0] <= now:
+            _, values, label = pending.pop(0)
+            online.observe(values, label, now)
+        sha = event.file_sha1
+        if sha in seen_files:
+            continue
+        seen_files.add(sha)
+        values = vectors[sha].values
+        label = labeled.file_labels[sha]
+        if label in (FileLabel.BENIGN, FileLabel.MALICIOUS):
+            # Verdict becomes available after the maturity delay.
+            pending.append(
+                (
+                    now + LABEL_MATURITY_DAYS,
+                    values,
+                    MALICIOUS_CLASS if label == FileLabel.MALICIOUS
+                    else BENIGN_CLASS,
+                )
+            )
+        elif label == FileLabel.UNKNOWN:
+            decision = online.classify(values, now)
+            decisions[sha] = decision
+            if decision.rejected:
+                outcome["rejected"] += 1
+            elif decision.label is None:
+                outcome["unmatched"] += 1
+            else:
+                outcome[decision.label] += 1
+
+    total = sum(outcome.values())
+    print(
+        f"\nStreamed {len(seen_files)} distinct files; the learner "
+        f"retrained {online.retrain_count} times and currently holds "
+        f"{len(online.current_rules)} rules.\n\n"
+        f"Decisions on {total} unknown files at arrival time:\n"
+        f"  labeled malicious: {outcome[MALICIOUS_CLASS]} "
+        f"({100 * outcome[MALICIOUS_CLASS] / total:.1f}%)\n"
+        f"  labeled benign:    {outcome[BENIGN_CLASS]} "
+        f"({100 * outcome[BENIGN_CLASS] / total:.1f}%)\n"
+        f"  rejected:          {outcome['rejected']}\n"
+        f"  unmatched:         {outcome['unmatched']} "
+        f"({100 * outcome['unmatched'] / total:.1f}%)"
+    )
+
+    # Score against latent truth.
+    files = session.world.corpus.files
+    correct = wrong = 0
+    for sha, decision in decisions.items():
+        if decision.label is None:
+            continue
+        is_malicious = files[sha].latent_malicious
+        predicted_malicious = decision.label == MALICIOUS_CLASS
+        if predicted_malicious == is_malicious:
+            correct += 1
+        else:
+            wrong += 1
+    if correct + wrong:
+        print(
+            f"\nAgainst latent truth: {correct}/{correct + wrong} decisions "
+            f"correct ({100 * correct / (correct + wrong):.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Related-work shootout on the long tail (Section VIII).
+
+Compares the paper's rule system against simplified reimplementations of
+the prior systems it cites -- Polonium-style graph reputation,
+CAMP/Amico-style URL reputation, and a prevalence heuristic -- broken
+down by file prevalence, then explains a few individual decisions the
+way an analyst would see them.
+
+    python examples/related_work.py [scale]
+"""
+
+import sys
+
+from repro import FileLabel, WorldConfig, build_session
+from repro.baselines import (
+    PoloniumBaseline,
+    PrevalenceBaseline,
+    RuleSystemDetector,
+    UrlReputationBaseline,
+    evaluate_by_prevalence,
+)
+from repro.core.classifier import RuleBasedClassifier
+from repro.core.evaluation import learn_rules
+from repro.core.features import FeatureExtractor
+from repro.core.rule_text import explain_decision
+from repro.reporting import fmt_pct, render_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    print(f"Building synthetic world (scale={scale}) ...\n")
+    session = build_session(WorldConfig(seed=7, scale=scale))
+    labeled = session.labeled
+    train = labeled.month_slice(0)
+    test = labeled.month_slice(1)
+    train_shas = set(train.dataset.files)
+
+    detectors = [
+        PrevalenceBaseline().fit(train),
+        UrlReputationBaseline().fit(train),
+        PoloniumBaseline().fit(train),
+        RuleSystemDetector(session.alexa).fit(train),
+    ]
+    rows = []
+    for detector in detectors:
+        for bucket in evaluate_by_prevalence(detector, test,
+                                             exclude_sha1s=train_shas):
+            if bucket.malicious + bucket.benign == 0:
+                continue
+            rows.append(
+                [
+                    detector.name,
+                    bucket.bucket,
+                    bucket.malicious,
+                    fmt_pct(100 * bucket.detection_rate),
+                    fmt_pct(100 * bucket.fp_rate),
+                    bucket.abstained,
+                ]
+            )
+    print(
+        render_table(
+            ["Detector", "prevalence", "# malicious", "detection",
+             "FP rate", "abstained"],
+            rows,
+            title=(
+                "Detection by file prevalence (train January, test "
+                "February)"
+            ),
+        )
+    )
+    print(
+        "\nThe paper's Section VIII points, measured:\n"
+        "  - graph reputation cannot flag files seen on one machine and\n"
+        "    is weak at prevalence 2-3 (Polonium's published 48%);\n"
+        "  - URL reputation inherits the mixed reputation of hosting\n"
+        "    portals (high FP);\n"
+        "  - the rule system keeps precision on the prevalence-1 tail.\n"
+    )
+
+    # Show a few analyst-facing explanations (Section VI-C).
+    rules, _ = learn_rules(labeled, session.alexa, 0)
+    classifier = RuleBasedClassifier(rules.select(0.001))
+    extractor = FeatureExtractor(test, session.alexa)
+    vectors = extractor.extract_all(labels=[FileLabel.UNKNOWN])
+    shown = 0
+    print("Example decisions on unknown files, as an analyst sees them:")
+    for sha1, vector in vectors.items():
+        decision = classifier.classify(vector.values)
+        if decision.matched:
+            print(f"\nfile {sha1[:16]}...:")
+            print(explain_decision(decision))
+            shown += 1
+        if shown == 3:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Measurement analyses: one module per section of the paper's evaluation.
+
+=====================  =======================================
+Module                 Paper content
+=====================  =======================================
+``summary``            Table I (monthly dataset summary)
+``families``           Figure 1, Table II (families & types)
+``prevalence``         Figure 2, Section IV-A
+``domains``            Tables III/IV/V/XIII, Figures 3/6
+``signers``            Tables VI-IX, Figure 4
+``packers``            Section IV-C
+``processes``          Tables X/XI/XII/XIV
+``infection``          Figure 5 (infection timing)
+=====================  =======================================
+"""
+
+from .common import cdf_points
+from .domains import (
+    AlexaRankDistribution,
+    DomainPopularity,
+    FilesPerDomain,
+    alexa_rank_distribution,
+    domain_popularity,
+    domains_per_type,
+    files_per_domain,
+    unknown_download_domains,
+)
+from .families import (
+    TYPE_DESCRIPTIONS,
+    FamilyDistribution,
+    TypeBreakdownRow,
+    family_distribution,
+    type_breakdown,
+)
+from .infection import (
+    SOURCES,
+    InfectionTimingReport,
+    infection_timing,
+)
+from .packers import PackerReport, packer_report
+from .prevalence import PrevalenceReport, prevalence_report
+from .processes import (
+    ProcessBehaviorRow,
+    UnknownDownloadsRow,
+    benign_process_behavior,
+    browser_behavior,
+    malicious_process_behavior,
+    unknown_download_processes,
+)
+from .signers import (
+    ExclusiveSigners,
+    SignedRateRow,
+    SignerCountRow,
+    TopSignersRow,
+    exclusive_signers,
+    shared_signer_scatter,
+    signed_percentages,
+    signer_counts,
+    top_signers,
+)
+from .summary import MonthlySummaryRow, monthly_summary
+from .unknowns import (
+    ClassProfile,
+    UnknownCharacteristics,
+    unknown_characteristics,
+)
+
+__all__ = [
+    "SOURCES",
+    "TYPE_DESCRIPTIONS",
+    "AlexaRankDistribution",
+    "DomainPopularity",
+    "ExclusiveSigners",
+    "FamilyDistribution",
+    "FilesPerDomain",
+    "InfectionTimingReport",
+    "MonthlySummaryRow",
+    "PackerReport",
+    "PrevalenceReport",
+    "ProcessBehaviorRow",
+    "SignedRateRow",
+    "SignerCountRow",
+    "TopSignersRow",
+    "ClassProfile",
+    "TypeBreakdownRow",
+    "UnknownCharacteristics",
+    "UnknownDownloadsRow",
+    "alexa_rank_distribution",
+    "benign_process_behavior",
+    "browser_behavior",
+    "cdf_points",
+    "domain_popularity",
+    "domains_per_type",
+    "exclusive_signers",
+    "family_distribution",
+    "files_per_domain",
+    "infection_timing",
+    "malicious_process_behavior",
+    "monthly_summary",
+    "packer_report",
+    "prevalence_report",
+    "shared_signer_scatter",
+    "signed_percentages",
+    "signer_counts",
+    "top_signers",
+    "type_breakdown",
+    "unknown_characteristics",
+    "unknown_download_domains",
+    "unknown_download_processes",
+]

@@ -1,0 +1,135 @@
+"""Shared helpers for the measurement analyses."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import (
+    Browser,
+    FileLabel,
+    ProcessCategory,
+    browser_from_name,
+    categorize_process_name,
+)
+
+
+def cdf_points(
+    values: Sequence[float], grid: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Empirical CDF of ``values`` evaluated on ``grid``.
+
+    Returns ``(x, F(x))`` pairs; an empty value list yields F=0 everywhere.
+    """
+    ordered = sorted(values)
+    total = len(ordered)
+    points = []
+    index = 0
+    for x in grid:
+        while index < total and ordered[index] <= x:
+            index += 1
+        points.append((x, index / total if total else 0.0))
+    return points
+
+
+def process_category_of(
+    labeled: LabeledDataset, process_sha: str
+) -> ProcessCategory:
+    """Category of a process from its on-disk executable name."""
+    record = labeled.dataset.processes[process_sha]
+    return categorize_process_name(record.executable_name)
+
+
+def browser_of(labeled: LabeledDataset, process_sha: str) -> Optional[Browser]:
+    """Browser family of a process, or ``None`` for non-browsers."""
+    record = labeled.dataset.processes[process_sha]
+    return browser_from_name(record.executable_name)
+
+
+def benign_process_shas(labeled: LabeledDataset) -> Set[str]:
+    """Hashes of *known benign* processes (whitelist-matched).
+
+    Section V-A restricts the process-behaviour measurements to processes
+    labeled benign, so that malware masquerading under a browser's file
+    name does not pollute the per-category statistics.
+    """
+    return {
+        sha
+        for sha, label in labeled.process_labels.items()
+        if label == FileLabel.BENIGN
+    }
+
+
+def files_downloaded_by(
+    labeled: LabeledDataset, process_shas: Iterable[str]
+) -> Dict[FileLabel, Set[str]]:
+    """Distinct files downloaded by a set of processes, split by label.
+
+    Only the confident labels and ``UNKNOWN`` are reported (the paper
+    excludes likely-class files from these tables).
+    """
+    wanted = set(process_shas)
+    result: Dict[FileLabel, Set[str]] = {
+        FileLabel.UNKNOWN: set(),
+        FileLabel.BENIGN: set(),
+        FileLabel.MALICIOUS: set(),
+    }
+    for event in labeled.dataset.events:
+        if event.process_sha1 not in wanted:
+            continue
+        label = labeled.file_labels[event.file_sha1]
+        if label in result:
+            result[label].add(event.file_sha1)
+    return result
+
+
+def machines_using(
+    labeled: LabeledDataset, process_shas: Iterable[str]
+) -> Set[str]:
+    """Machines on which any of the given processes initiated a download."""
+    wanted = set(process_shas)
+    return {
+        event.machine_id
+        for event in labeled.dataset.events
+        if event.process_sha1 in wanted
+    }
+
+
+def infected_machine_fraction(
+    labeled: LabeledDataset, process_shas: Iterable[str]
+) -> float:
+    """Fraction of the processes' machines that downloaded malware via them."""
+    wanted = set(process_shas)
+    machines: Set[str] = set()
+    infected: Set[str] = set()
+    for event in labeled.dataset.events:
+        if event.process_sha1 not in wanted:
+            continue
+        machines.add(event.machine_id)
+        if labeled.file_labels[event.file_sha1] == FileLabel.MALICIOUS:
+            infected.add(event.machine_id)
+    return len(infected) / len(machines) if machines else 0.0
+
+
+def first_download_events(labeled: LabeledDataset) -> Dict[str, object]:
+    """``file sha1 -> first reported event`` (dataset is time-sorted)."""
+    first: Dict[str, object] = {}
+    for event in labeled.dataset.events:
+        first.setdefault(event.file_sha1, event)
+    return first
+
+
+def top_n(counter: Dict[str, int], n: int) -> List[Tuple[str, int]]:
+    """Top-``n`` (key, count) pairs, ties broken by key for determinism."""
+    return sorted(counter.items(), key=lambda item: (-item[1], item[0]))[:n]
+
+
+def count_by(
+    pairs: Iterable[Tuple[str, str]]
+) -> Dict[str, Set[str]]:
+    """Group distinct values per key: ``(key, value)`` pairs to sets."""
+    grouped: Dict[str, Set[str]] = defaultdict(set)
+    for key, value in pairs:
+        grouped[key].add(value)
+    return dict(grouped)

@@ -1,0 +1,146 @@
+"""Download-URL and domain analyses -- Tables III/IV/V/XIII, Figures 3/6.
+
+All aggregations are by effective second-level domain (e2LD), matching
+Section IV-B.  Domain *popularity* is the number of unique machines that
+downloaded a file from the domain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel, MalwareType
+from ..labeling.whitelists import AlexaService
+from .common import top_n
+
+
+@dataclasses.dataclass(frozen=True)
+class DomainPopularity:
+    """Table III: most popular domains overall / for benign / malicious."""
+
+    overall: List[Tuple[str, int]]
+    benign: List[Tuple[str, int]]
+    malicious: List[Tuple[str, int]]
+
+
+def domain_popularity(labeled: LabeledDataset, n: int = 10) -> DomainPopularity:
+    """Top-``n`` domains by unique downloading machines (Table III)."""
+    machines_overall: Dict[str, Set[str]] = defaultdict(set)
+    machines_benign: Dict[str, Set[str]] = defaultdict(set)
+    machines_malicious: Dict[str, Set[str]] = defaultdict(set)
+    for event in labeled.dataset.events:
+        domain = event.e2ld
+        machines_overall[domain].add(event.machine_id)
+        label = labeled.file_labels[event.file_sha1]
+        if label == FileLabel.BENIGN:
+            machines_benign[domain].add(event.machine_id)
+        elif label == FileLabel.MALICIOUS:
+            machines_malicious[domain].add(event.machine_id)
+
+    def ranked(index: Dict[str, Set[str]]) -> List[Tuple[str, int]]:
+        return top_n({d: len(m) for d, m in index.items()}, n)
+
+    return DomainPopularity(
+        overall=ranked(machines_overall),
+        benign=ranked(machines_benign),
+        malicious=ranked(machines_malicious),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FilesPerDomain:
+    """Table IV: domains serving the most distinct benign/malicious files."""
+
+    benign: List[Tuple[str, int]]
+    malicious: List[Tuple[str, int]]
+    shared_domains: Set[str]
+
+
+def files_per_domain(labeled: LabeledDataset, n: int = 10) -> FilesPerDomain:
+    """Top-``n`` domains by number of unique files served (Table IV)."""
+    benign_files: Dict[str, Set[str]] = defaultdict(set)
+    malicious_files: Dict[str, Set[str]] = defaultdict(set)
+    for event in labeled.dataset.events:
+        label = labeled.file_labels[event.file_sha1]
+        if label == FileLabel.BENIGN:
+            benign_files[event.e2ld].add(event.file_sha1)
+        elif label == FileLabel.MALICIOUS:
+            malicious_files[event.e2ld].add(event.file_sha1)
+    return FilesPerDomain(
+        benign=top_n({d: len(f) for d, f in benign_files.items()}, n),
+        malicious=top_n({d: len(f) for d, f in malicious_files.items()}, n),
+        shared_domains=set(benign_files) & set(malicious_files),
+    )
+
+
+def domains_per_type(
+    labeled: LabeledDataset, n: int = 10
+) -> Dict[MalwareType, List[Tuple[str, int]]]:
+    """Table V: per malicious type, domains serving the most files."""
+    files_by_type_domain: Dict[MalwareType, Dict[str, Set[str]]] = defaultdict(
+        lambda: defaultdict(set)
+    )
+    for event in labeled.dataset.events:
+        mtype = labeled.type_of(event.file_sha1)
+        if mtype is None:
+            continue
+        files_by_type_domain[mtype][event.e2ld].add(event.file_sha1)
+    return {
+        mtype: top_n({d: len(f) for d, f in domains.items()}, n)
+        for mtype, domains in files_by_type_domain.items()
+    }
+
+
+def unknown_download_domains(
+    labeled: LabeledDataset, n: int = 10
+) -> List[Tuple[str, int]]:
+    """Table XIII: top domains by number of unknown-file downloads."""
+    downloads: Counter = Counter()
+    for event in labeled.dataset.events:
+        if labeled.file_labels[event.file_sha1] == FileLabel.UNKNOWN:
+            downloads[event.e2ld] += 1
+    return top_n(downloads, n)
+
+
+@dataclasses.dataclass(frozen=True)
+class AlexaRankDistribution:
+    """Figures 3/6: Alexa ranks of domains hosting each file class.
+
+    ``ranks`` holds the rank of every (domain, class) pair with a ranked
+    domain; ``unranked_fraction`` is the share of hosting domains absent
+    from the Alexa list.
+    """
+
+    ranks: Dict[FileLabel, List[int]]
+    unranked_fraction: Dict[FileLabel, float]
+
+    def cdf(self, label: FileLabel, grid: Optional[List[int]] = None):
+        """CDF of ranks for one class on a log-spaced default grid."""
+        from .common import cdf_points
+
+        if grid is None:
+            grid = [100, 1_000, 10_000, 100_000, 1_000_000]
+        return cdf_points(self.ranks.get(label, []), grid)
+
+
+def alexa_rank_distribution(
+    labeled: LabeledDataset, alexa: AlexaService
+) -> AlexaRankDistribution:
+    """Ranks of hosting domains per file class (Figures 3 and 6)."""
+    domains_by_label: Dict[FileLabel, Set[str]] = defaultdict(set)
+    for event in labeled.dataset.events:
+        label = labeled.file_labels[event.file_sha1]
+        domains_by_label[label].add(event.e2ld)
+    ranks: Dict[FileLabel, List[int]] = {}
+    unranked: Dict[FileLabel, float] = {}
+    for label, domains in domains_by_label.items():
+        found = [
+            alexa.rank(domain) for domain in domains
+            if alexa.rank(domain) is not None
+        ]
+        ranks[label] = sorted(found)  # type: ignore[arg-type]
+        unranked[label] = 1.0 - len(found) / len(domains) if domains else 0.0
+    return AlexaRankDistribution(ranks=ranks, unranked_fraction=unranked)

@@ -1,0 +1,99 @@
+"""Infection-timing analysis -- Figure 5 (Section V-B).
+
+For every machine that downloads-and-executes a file of a *source* class
+(benign / adware / PUP / dropper), measure the time until the machine's
+next download of "other malware" -- a malicious file whose type is not
+adware, PUP or undefined.  Benign sources additionally require that the
+machine had no malicious download before the benign one (the paper's
+control group).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FIG5_EXCLUDED_TYPES, FileLabel, MalwareType
+from .common import cdf_points
+
+#: The Figure 5 source classes.
+SOURCES = ("benign", "adware", "pup", "dropper")
+
+#: Default day grid on which the CDFs are reported.
+DEFAULT_GRID: Tuple[float, ...] = (0.99, 2, 3, 5, 7, 10, 14, 21, 30, 45, 60, 90)
+
+
+@dataclasses.dataclass(frozen=True)
+class InfectionTimingReport:
+    """Per-source time deltas and their CDFs."""
+
+    deltas: Dict[str, List[float]]
+    grid: Sequence[float]
+
+    def cdf(self, source: str) -> List[Tuple[float, float]]:
+        """CDF points for one source class."""
+        return cdf_points(self.deltas[source], list(self.grid))
+
+    def fraction_within(self, source: str, days: float) -> float:
+        """Fraction of machines infected within ``days`` of the source."""
+        values = self.deltas[source]
+        if not values:
+            return 0.0
+        return sum(1 for value in values if value <= days) / len(values)
+
+
+def _source_of(labeled: LabeledDataset, sha1: str) -> Optional[str]:
+    label = labeled.file_labels[sha1]
+    if label == FileLabel.BENIGN:
+        return "benign"
+    mtype = labeled.type_of(sha1)
+    if mtype == MalwareType.ADWARE:
+        return "adware"
+    if mtype == MalwareType.PUP:
+        return "pup"
+    if mtype == MalwareType.DROPPER:
+        return "dropper"
+    return None
+
+
+def _is_other_malware(labeled: LabeledDataset, sha1: str) -> bool:
+    mtype = labeled.type_of(sha1)
+    return mtype is not None and mtype not in FIG5_EXCLUDED_TYPES
+
+
+def infection_timing(
+    labeled: LabeledDataset, grid: Sequence[float] = DEFAULT_GRID
+) -> InfectionTimingReport:
+    """Compute the Figure 5 time-delta distributions.
+
+    For each machine and each source class, uses the machine's *first*
+    download of that class and the first subsequent "other malware"
+    download.  Machines that never follow up contribute nothing (the
+    figure plots the CDF over infected machines).
+    """
+    deltas: Dict[str, List[float]] = {source: [] for source in SOURCES}
+    for machine_events in labeled.dataset.events_by_machine.values():
+        first_source: Dict[str, float] = {}
+        had_malicious_before: Dict[str, bool] = {}
+        resolved: Dict[str, bool] = {source: False for source in SOURCES}
+        seen_malicious = False
+        for event in machine_events:
+            sha1 = event.file_sha1
+            if _is_other_malware(labeled, sha1):
+                for source, start in first_source.items():
+                    if resolved[source]:
+                        continue
+                    if source == "benign" and had_malicious_before[source]:
+                        resolved[source] = True
+                        continue
+                    deltas[source].append(event.timestamp - start)
+                    resolved[source] = True
+            source = _source_of(labeled, sha1)
+            if source is not None and source not in first_source:
+                first_source[source] = event.timestamp
+                had_malicious_before[source] = seen_malicious
+            if labeled.file_labels[sha1] == FileLabel.MALICIOUS:
+                seen_malicious = True
+        del resolved
+    return InfectionTimingReport(deltas=deltas, grid=grid)

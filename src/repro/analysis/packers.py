@@ -1,0 +1,76 @@
+"""Packer analysis -- Section IV-C.
+
+The paper reports that benign and malicious files are packed at nearly
+the same rate (54% vs 58%), that about half of the 69 observed packers
+are used by both populations, and that per-type packer breakdowns show no
+discriminating signal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, List, Set, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel, MalwareType
+
+
+@dataclasses.dataclass(frozen=True)
+class PackerReport:
+    """Section IV-C packer statistics."""
+
+    benign_packed_pct: float
+    malicious_packed_pct: float
+    unknown_packed_pct: float
+    total_packers: int
+    shared_packers: Set[str]
+    benign_only_packers: Set[str]
+    malicious_only_packers: Set[str]
+    packers_per_type: Dict[MalwareType, List[Tuple[str, int]]]
+
+
+def _packed_pct(labeled: LabeledDataset, shas: Set[str]) -> float:
+    files = labeled.dataset.files
+    if not shas:
+        return 0.0
+    packed = sum(1 for sha in shas if files[sha].is_packed)
+    return 100.0 * packed / len(shas)
+
+
+def packer_report(labeled: LabeledDataset, top_n: int = 5) -> PackerReport:
+    """Compute the Section IV-C packer statistics."""
+    files = labeled.dataset.files
+    benign = labeled.files_with_label(FileLabel.BENIGN)
+    malicious = labeled.files_with_label(FileLabel.MALICIOUS)
+    unknown = labeled.files_with_label(FileLabel.UNKNOWN)
+
+    benign_packers = {
+        files[sha].packer for sha in benign if files[sha].packer
+    }
+    malicious_packers = {
+        files[sha].packer for sha in malicious if files[sha].packer
+    }
+    all_packers = {
+        record.packer for record in files.values() if record.packer
+    }
+
+    per_type_counts: Dict[MalwareType, Counter] = defaultdict(Counter)
+    for sha, extraction in labeled.file_types.items():
+        packer = files[sha].packer
+        if packer:
+            per_type_counts[extraction.mtype][packer] += 1
+
+    return PackerReport(
+        benign_packed_pct=_packed_pct(labeled, benign),
+        malicious_packed_pct=_packed_pct(labeled, malicious),
+        unknown_packed_pct=_packed_pct(labeled, unknown),
+        total_packers=len(all_packers),
+        shared_packers=benign_packers & malicious_packers,
+        benign_only_packers=benign_packers - malicious_packers,
+        malicious_only_packers=malicious_packers - benign_packers,
+        packers_per_type={
+            mtype: sorted(counts.items(), key=lambda i: (-i[1], i[0]))[:top_n]
+            for mtype, counts in per_type_counts.items()
+        },
+    )

@@ -1,0 +1,87 @@
+"""File-prevalence analysis -- Figure 2 and Section IV-A headline numbers.
+
+Prevalence of a file is the number of distinct machines that downloaded
+it.  The analysis reports the per-label prevalence distributions (the
+figure's series), the fraction of single-machine files ("almost 90%"),
+and the aggregate reach of unknown files across machines ("69% of the
+machine population").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel
+
+
+@dataclasses.dataclass(frozen=True)
+class PrevalenceReport:
+    """Everything Figure 2 and its surrounding prose report."""
+
+    distribution_by_label: Dict[FileLabel, Counter]
+    single_machine_fraction: float
+    single_machine_fraction_by_label: Dict[FileLabel, float]
+    capped_fraction: float
+    machines_with_unknown_fraction: float
+
+    def ccdf_series(self, label: FileLabel) -> List[Tuple[int, float]]:
+        """(prevalence, fraction of files with >= that prevalence)."""
+        counts = self.distribution_by_label.get(label, Counter())
+        total = sum(counts.values())
+        if total == 0:
+            return []
+        series = []
+        remaining = total
+        for prevalence in sorted(counts):
+            series.append((prevalence, remaining / total))
+            remaining -= counts[prevalence]
+        return series
+
+
+def prevalence_report(
+    labeled: LabeledDataset, sigma: int = 20
+) -> PrevalenceReport:
+    """Compute the Figure 2 report.
+
+    ``sigma`` is the reporting threshold: files whose observed prevalence
+    reached it are "capped" (their true prevalence may be higher) and
+    counted in ``capped_fraction`` -- the paper reports ~0.25%.
+    """
+    prevalence = labeled.dataset.file_prevalence
+    by_label: Dict[FileLabel, Counter] = {label: Counter() for label in FileLabel}
+    single = 0
+    capped = 0
+    for sha1, count in prevalence.items():
+        by_label[labeled.file_labels[sha1]][count] += 1
+        if count == 1:
+            single += 1
+        if count >= sigma:
+            capped += 1
+    total = len(prevalence)
+
+    unknown_machines = {
+        event.machine_id
+        for event in labeled.dataset.events
+        if labeled.file_labels[event.file_sha1] == FileLabel.UNKNOWN
+    }
+    machine_total = len(labeled.dataset.machine_ids)
+
+    single_by_label = {}
+    for label, counts in by_label.items():
+        label_total = sum(counts.values())
+        single_by_label[label] = (
+            counts[1] / label_total if label_total else 0.0
+        )
+
+    return PrevalenceReport(
+        distribution_by_label=by_label,
+        single_machine_fraction=single / total if total else 0.0,
+        single_machine_fraction_by_label=single_by_label,
+        capped_fraction=capped / total if total else 0.0,
+        machines_with_unknown_fraction=(
+            len(unknown_machines) / machine_total if machine_total else 0.0
+        ),
+    )

@@ -1,0 +1,196 @@
+"""Downloading-process analyses -- Tables X/XI/XII/XIV (Section V).
+
+Benign-process measurements consider only processes whose hash is labeled
+benign (whitelist-matched), categorized by on-disk executable name into
+browsers / Windows processes / Java / Acrobat Reader / all other.
+Malicious-process measurements group processes by their extracted
+behavior type (Table XII).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import (
+    Browser,
+    FileLabel,
+    MalwareType,
+    ProcessCategory,
+    browser_from_name,
+    categorize_process_name,
+)
+from .common import benign_process_shas
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessBehaviorRow:
+    """One row of Table X / XI / XII."""
+
+    group: str
+    processes: int
+    machines: int
+    unknown_files: int
+    benign_files: int
+    malicious_files: int
+    infected_machine_pct: float
+    type_mix: Dict[MalwareType, float]
+
+    @property
+    def total_files(self) -> int:
+        """Distinct files of the three reported classes."""
+        return self.unknown_files + self.benign_files + self.malicious_files
+
+
+def _behavior_row(
+    labeled: LabeledDataset, group: str, process_shas: Set[str]
+) -> ProcessBehaviorRow:
+    machines: Set[str] = set()
+    infected: Set[str] = set()
+    files_by_label: Dict[FileLabel, Set[str]] = defaultdict(set)
+    malicious_files: Set[str] = set()
+    for event in labeled.dataset.events:
+        if event.process_sha1 not in process_shas:
+            continue
+        machines.add(event.machine_id)
+        label = labeled.file_labels[event.file_sha1]
+        files_by_label[label].add(event.file_sha1)
+        if label == FileLabel.MALICIOUS:
+            infected.add(event.machine_id)
+            malicious_files.add(event.file_sha1)
+
+    type_counts: Dict[MalwareType, int] = defaultdict(int)
+    for sha in malicious_files:
+        mtype = labeled.type_of(sha)
+        if mtype is not None:
+            type_counts[mtype] += 1
+    total_typed = sum(type_counts.values())
+    type_mix = {
+        mtype: count / total_typed for mtype, count in type_counts.items()
+    } if total_typed else {}
+
+    return ProcessBehaviorRow(
+        group=group,
+        processes=len(process_shas),
+        machines=len(machines),
+        unknown_files=len(files_by_label[FileLabel.UNKNOWN]),
+        benign_files=len(files_by_label[FileLabel.BENIGN]),
+        malicious_files=len(malicious_files),
+        infected_machine_pct=(
+            100.0 * len(infected) / len(machines) if machines else 0.0
+        ),
+        type_mix=type_mix,
+    )
+
+
+def benign_process_behavior(
+    labeled: LabeledDataset,
+) -> Dict[ProcessCategory, ProcessBehaviorRow]:
+    """Table X: download behavior of benign processes per category.
+
+    Only processes that initiated at least one reported download are
+    counted (the dataset has no visibility into idle processes).
+    """
+    benign = benign_process_shas(labeled)
+    active = {event.process_sha1 for event in labeled.dataset.events}
+    by_category: Dict[ProcessCategory, Set[str]] = defaultdict(set)
+    for sha in benign & active:
+        record = labeled.dataset.processes[sha]
+        by_category[categorize_process_name(record.executable_name)].add(sha)
+    return {
+        category: _behavior_row(labeled, category.value, shas)
+        for category, shas in sorted(
+            by_category.items(), key=lambda item: item[0].value
+        )
+    }
+
+
+def browser_behavior(labeled: LabeledDataset) -> Dict[Browser, ProcessBehaviorRow]:
+    """Table XI: download behavior per benign browser family."""
+    benign = benign_process_shas(labeled)
+    active = {event.process_sha1 for event in labeled.dataset.events}
+    by_browser: Dict[Browser, Set[str]] = defaultdict(set)
+    for sha in benign & active:
+        record = labeled.dataset.processes[sha]
+        browser = browser_from_name(record.executable_name)
+        if browser is not None:
+            by_browser[browser].add(sha)
+    return {
+        browser: _behavior_row(labeled, browser.value, shas)
+        for browser, shas in sorted(
+            by_browser.items(), key=lambda item: item[0].value
+        )
+    }
+
+
+def malicious_process_behavior(
+    labeled: LabeledDataset,
+) -> Dict[Optional[MalwareType], ProcessBehaviorRow]:
+    """Table XII: download behavior of malicious processes by type.
+
+    The ``None`` key holds the "Overall" row across all malicious
+    processes.
+    """
+    by_type: Dict[MalwareType, Set[str]] = defaultdict(set)
+    all_malicious: Set[str] = set()
+    active = {event.process_sha1 for event in labeled.dataset.events}
+    for sha, label in labeled.process_labels.items():
+        if label != FileLabel.MALICIOUS or sha not in active:
+            continue
+        all_malicious.add(sha)
+        mtype = labeled.process_type_of(sha)
+        if mtype is not None:
+            by_type[mtype].add(sha)
+    rows: Dict[Optional[MalwareType], ProcessBehaviorRow] = {
+        mtype: _behavior_row(labeled, mtype.value, shas)
+        for mtype, shas in sorted(
+            by_type.items(), key=lambda item: item[0].value
+        )
+    }
+    rows[None] = _behavior_row(labeled, "overall", all_malicious)
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class UnknownDownloadsRow:
+    """One row of Table XIV."""
+
+    group: str
+    unknown_downloads: int
+
+
+def unknown_download_processes(
+    labeled: LabeledDataset,
+) -> List[UnknownDownloadsRow]:
+    """Table XIV: unknown files downloaded per benign process category."""
+    benign = benign_process_shas(labeled)
+    counts: Dict[str, Set[str]] = defaultdict(set)
+    for event in labeled.dataset.events:
+        if labeled.file_labels[event.file_sha1] != FileLabel.UNKNOWN:
+            continue
+        if event.process_sha1 not in benign:
+            continue
+        record = labeled.dataset.processes[event.process_sha1]
+        category = categorize_process_name(record.executable_name)
+        if category == ProcessCategory.BROWSER:
+            group = "browser"
+        elif category == ProcessCategory.OTHER:
+            group = "other benign processes"
+        else:
+            group = category.value
+        counts[group].add(event.file_sha1)
+    rows = [
+        UnknownDownloadsRow(group=group, unknown_downloads=len(files))
+        for group, files in sorted(
+            counts.items(), key=lambda item: -len(item[1])
+        )
+    ]
+    rows.append(
+        UnknownDownloadsRow(
+            group="total",
+            unknown_downloads=sum(row.unknown_downloads for row in rows),
+        )
+    )
+    return rows

@@ -1,0 +1,256 @@
+"""File-signer analyses -- Tables VI/VII/VIII/IX and Figure 4.
+
+"Signed" means the file carries a valid software signature (non-null
+``signer`` in its metadata).  The "From Browsers" columns restrict to
+files whose downloads include at least one browser-initiated event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import (
+    FileLabel,
+    MalwareType,
+    ProcessCategory,
+    categorize_process_name,
+)
+
+
+def _browser_downloaded_files(labeled: LabeledDataset) -> Set[str]:
+    """Files with at least one browser-initiated download event."""
+    result: Set[str] = set()
+    for event in labeled.dataset.events:
+        record = labeled.dataset.processes[event.process_sha1]
+        if categorize_process_name(record.executable_name) == ProcessCategory.BROWSER:
+            result.add(event.file_sha1)
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class SignedRateRow:
+    """One row of Table VI."""
+
+    group: str  # a MalwareType value, or 'benign'/'unknown'/'malicious'
+    files: int
+    signed_pct: float
+    browser_files: int
+    browser_signed_pct: float
+
+
+def _rate_row(
+    labeled: LabeledDataset,
+    group: str,
+    shas: Set[str],
+    browser_files: Set[str],
+) -> SignedRateRow:
+    files = labeled.dataset.files
+    signed = sum(1 for sha in shas if files[sha].is_signed)
+    from_browser = shas & browser_files
+    browser_signed = sum(1 for sha in from_browser if files[sha].is_signed)
+    return SignedRateRow(
+        group=group,
+        files=len(shas),
+        signed_pct=100.0 * signed / len(shas) if shas else 0.0,
+        browser_files=len(from_browser),
+        browser_signed_pct=(
+            100.0 * browser_signed / len(from_browser) if from_browser else 0.0
+        ),
+    )
+
+
+def signed_percentages(labeled: LabeledDataset) -> List[SignedRateRow]:
+    """Table VI: signed fraction per malicious type and per label class."""
+    browser_files = _browser_downloaded_files(labeled)
+    by_type: Dict[MalwareType, Set[str]] = defaultdict(set)
+    for sha, extraction in labeled.file_types.items():
+        by_type[extraction.mtype].add(sha)
+    rows = [
+        _rate_row(labeled, mtype.value, by_type.get(mtype, set()), browser_files)
+        for mtype in MalwareType
+    ]
+    rows.append(
+        _rate_row(labeled, "benign",
+                  labeled.files_with_label(FileLabel.BENIGN), browser_files)
+    )
+    rows.append(
+        _rate_row(labeled, "unknown",
+                  labeled.files_with_label(FileLabel.UNKNOWN), browser_files)
+    )
+    rows.append(
+        _rate_row(labeled, "malicious",
+                  labeled.files_with_label(FileLabel.MALICIOUS), browser_files)
+    )
+    return rows
+
+
+def _signers_of(labeled: LabeledDataset, shas: Set[str]) -> Set[str]:
+    files = labeled.dataset.files
+    return {
+        files[sha].signer for sha in shas if files[sha].signer is not None
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class SignerCountRow:
+    """One row of Table VII (``mtype=None`` for the Total row)."""
+
+    mtype: Optional[MalwareType]
+    signers: int
+    common_with_benign: int
+
+
+def signer_counts(labeled: LabeledDataset) -> Tuple[List[SignerCountRow], SignerCountRow]:
+    """Table VII: distinct signers per type and overlap with benign.
+
+    Returns (per-type rows, total row); the total row's ``mtype`` is
+    ``None``-like (reported under "Total" by the renderer).
+    """
+    benign_signers = _signers_of(
+        labeled, labeled.files_with_label(FileLabel.BENIGN)
+    )
+    by_type: Dict[MalwareType, Set[str]] = defaultdict(set)
+    for sha, extraction in labeled.file_types.items():
+        by_type[extraction.mtype].add(sha)
+    rows = []
+    all_malicious_signers: Set[str] = set()
+    for mtype in MalwareType:
+        signers = _signers_of(labeled, by_type.get(mtype, set()))
+        all_malicious_signers |= signers
+        rows.append(
+            SignerCountRow(
+                mtype=mtype,
+                signers=len(signers),
+                common_with_benign=len(signers & benign_signers),
+            )
+        )
+    total = SignerCountRow(
+        mtype=None,
+        signers=len(all_malicious_signers),
+        common_with_benign=len(all_malicious_signers & benign_signers),
+    )
+    return rows, total
+
+
+@dataclasses.dataclass(frozen=True)
+class TopSignersRow:
+    """One row of Table VIII."""
+
+    group: str
+    top: List[str]
+    top_common_with_benign: List[str]
+    top_exclusive: List[str]
+
+
+def _top_signer_names(counter: Counter, n: int = 3) -> List[str]:
+    return [name for name, _ in sorted(
+        counter.items(), key=lambda item: (-item[1], item[0])
+    )[:n]]
+
+
+def top_signers(labeled: LabeledDataset, n: int = 3) -> List[TopSignersRow]:
+    """Table VIII: top signers per type, split common/exclusive vs benign."""
+    files = labeled.dataset.files
+    benign_shas = labeled.files_with_label(FileLabel.BENIGN)
+    benign_signers = _signers_of(labeled, benign_shas)
+    malicious_shas = labeled.files_with_label(FileLabel.MALICIOUS)
+
+    groups: Dict[str, Set[str]] = {
+        mtype.value: set() for mtype in MalwareType
+    }
+    for sha, extraction in labeled.file_types.items():
+        groups[extraction.mtype.value].add(sha)
+    groups["malicious (total)"] = set(malicious_shas)
+    groups["benign"] = set(benign_shas)
+
+    rows = []
+    for group, shas in groups.items():
+        counter: Counter = Counter()
+        for sha in shas:
+            signer = files[sha].signer
+            if signer is not None:
+                counter[signer] += 1
+        if group == "benign":
+            common = Counter(
+                {s: c for s, c in counter.items()
+                 if s in _signers_of(labeled, malicious_shas)}
+            )
+            exclusive = Counter(
+                {s: c for s, c in counter.items()
+                 if s not in _signers_of(labeled, malicious_shas)}
+            )
+        else:
+            common = Counter(
+                {s: c for s, c in counter.items() if s in benign_signers}
+            )
+            exclusive = Counter(
+                {s: c for s, c in counter.items() if s not in benign_signers}
+            )
+        rows.append(
+            TopSignersRow(
+                group=group,
+                top=_top_signer_names(counter, n),
+                top_common_with_benign=_top_signer_names(common, n),
+                top_exclusive=_top_signer_names(exclusive, n),
+            )
+        )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class ExclusiveSigners:
+    """Table IX: top exclusively-benign and exclusively-malicious signers."""
+
+    benign: List[Tuple[str, int]]
+    malicious: List[Tuple[str, int]]
+
+
+def exclusive_signers(labeled: LabeledDataset, n: int = 10) -> ExclusiveSigners:
+    """Top signers that signed only benign or only malicious files."""
+    files = labeled.dataset.files
+    benign_counter: Counter = Counter()
+    malicious_counter: Counter = Counter()
+    for sha in labeled.files_with_label(FileLabel.BENIGN):
+        if files[sha].signer:
+            benign_counter[files[sha].signer] += 1
+    for sha in labeled.files_with_label(FileLabel.MALICIOUS):
+        if files[sha].signer:
+            malicious_counter[files[sha].signer] += 1
+    benign_only = {
+        signer: count for signer, count in benign_counter.items()
+        if signer not in malicious_counter
+    }
+    malicious_only = {
+        signer: count for signer, count in malicious_counter.items()
+        if signer not in benign_counter
+    }
+    return ExclusiveSigners(
+        benign=sorted(benign_only.items(), key=lambda i: (-i[1], i[0]))[:n],
+        malicious=sorted(malicious_only.items(), key=lambda i: (-i[1], i[0]))[:n],
+    )
+
+
+def shared_signer_scatter(
+    labeled: LabeledDataset,
+) -> List[Tuple[str, int, int]]:
+    """Figure 4: per shared signer, (name, #malicious files, #benign files)."""
+    files = labeled.dataset.files
+    benign_counter: Counter = Counter()
+    malicious_counter: Counter = Counter()
+    for sha in labeled.files_with_label(FileLabel.BENIGN):
+        if files[sha].signer:
+            benign_counter[files[sha].signer] += 1
+    for sha in labeled.files_with_label(FileLabel.MALICIOUS):
+        if files[sha].signer:
+            malicious_counter[files[sha].signer] += 1
+    shared = set(benign_counter) & set(malicious_counter)
+    return sorted(
+        (
+            (signer, malicious_counter[signer], benign_counter[signer])
+            for signer in shared
+        ),
+        key=lambda item: (-(item[1] + item[2]), item[0]),
+    )

@@ -1,0 +1,104 @@
+"""Monthly dataset summary -- Table I.
+
+For each collection month: number of machines and download events, and
+the label breakdown of the distinct download processes, downloaded files
+and download URLs observed that month.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel, UrlLabel
+from ..telemetry.events import MONTH_NAMES, NUM_MONTHS
+
+
+@dataclasses.dataclass(frozen=True)
+class MonthlySummaryRow:
+    """One row of Table I (percentages in 0..100)."""
+
+    month: str
+    machines: int
+    events: int
+    processes: int
+    proc_benign_pct: float
+    proc_likely_benign_pct: float
+    proc_malicious_pct: float
+    proc_likely_malicious_pct: float
+    files: int
+    file_benign_pct: float
+    file_likely_benign_pct: float
+    file_malicious_pct: float
+    file_likely_malicious_pct: float
+    urls: int
+    url_benign_pct: float
+    url_malicious_pct: float
+
+    @property
+    def file_unknown_pct(self) -> float:
+        """Percentage of the month's files with no ground truth."""
+        return 100.0 - (
+            self.file_benign_pct
+            + self.file_likely_benign_pct
+            + self.file_malicious_pct
+            + self.file_likely_malicious_pct
+        )
+
+
+def _pct(count: int, total: int) -> float:
+    return 100.0 * count / total if total else 0.0
+
+
+def _label_pcts(labels: Dict[str, FileLabel], shas) -> Dict[FileLabel, float]:
+    total = len(shas)
+    counts: Dict[FileLabel, int] = {label: 0 for label in FileLabel}
+    for sha in shas:
+        counts[labels[sha]] += 1
+    return {label: _pct(count, total) for label, count in counts.items()}
+
+
+def _summarize(labeled: LabeledDataset, events, month: str) -> MonthlySummaryRow:
+    machines = {event.machine_id for event in events}
+    files = {event.file_sha1 for event in events}
+    processes = {event.process_sha1 for event in events}
+    urls = {event.url for event in events}
+
+    file_pcts = _label_pcts(labeled.file_labels, files)
+    proc_pcts = _label_pcts(labeled.process_labels, processes)
+    url_benign = sum(
+        1 for url in urls if labeled.url_labels[url] == UrlLabel.BENIGN
+    )
+    url_malicious = sum(
+        1 for url in urls if labeled.url_labels[url] == UrlLabel.MALICIOUS
+    )
+    return MonthlySummaryRow(
+        month=month,
+        machines=len(machines),
+        events=len(events),
+        processes=len(processes),
+        proc_benign_pct=proc_pcts[FileLabel.BENIGN],
+        proc_likely_benign_pct=proc_pcts[FileLabel.LIKELY_BENIGN],
+        proc_malicious_pct=proc_pcts[FileLabel.MALICIOUS],
+        proc_likely_malicious_pct=proc_pcts[FileLabel.LIKELY_MALICIOUS],
+        files=len(files),
+        file_benign_pct=file_pcts[FileLabel.BENIGN],
+        file_likely_benign_pct=file_pcts[FileLabel.LIKELY_BENIGN],
+        file_malicious_pct=file_pcts[FileLabel.MALICIOUS],
+        file_likely_malicious_pct=file_pcts[FileLabel.LIKELY_MALICIOUS],
+        urls=len(urls),
+        url_benign_pct=_pct(url_benign, len(urls)),
+        url_malicious_pct=_pct(url_malicious, len(urls)),
+    )
+
+
+def monthly_summary(labeled: LabeledDataset) -> List[MonthlySummaryRow]:
+    """Compute Table I: one row per month plus an "Overall" row."""
+    rows = [
+        _summarize(labeled, labeled.dataset.events_by_month[month],
+                   MONTH_NAMES[month])
+        for month in range(NUM_MONTHS)
+    ]
+    rows.append(_summarize(labeled, labeled.dataset.events, "Overall"))
+    return rows

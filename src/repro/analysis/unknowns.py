@@ -1,0 +1,122 @@
+"""Characteristics of unknown files -- Section VI-A.
+
+Beyond the hosting-domain view (Table XIII, Figure 6) and the
+downloading-process view (Table XIV), this module profiles what the
+unknown mass *looks like* against the labeled classes: signing and
+packing rates, file sizes, prevalence, and how much of it shares
+signers/packers with known benign or malicious files -- the overlap that
+makes the Section VI-B rule labeling possible in the first place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, Set
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassProfile:
+    """Summary statistics of one file class."""
+
+    files: int
+    signed_fraction: float
+    packed_fraction: float
+    median_size_bytes: int
+    mean_prevalence: float
+
+
+@dataclasses.dataclass(frozen=True)
+class UnknownCharacteristics:
+    """The Section VI-A profile of the unknown mass."""
+
+    profiles: Dict[FileLabel, ClassProfile]
+    signer_overlap_with_malicious: float
+    signer_overlap_with_benign: float
+    signer_unseen_fraction: float
+
+    @property
+    def rule_reachable_fraction(self) -> float:
+        """Upper bound on signer-rule coverage of signed unknowns."""
+        return (
+            self.signer_overlap_with_malicious
+            + self.signer_overlap_with_benign
+        )
+
+
+def _profile(labeled: LabeledDataset, shas: Set[str]) -> ClassProfile:
+    files = labeled.dataset.files
+    prevalence = labeled.dataset.file_prevalence
+    if not shas:
+        return ClassProfile(0, 0.0, 0.0, 0, 0.0)
+    signed = sum(1 for sha in shas if files[sha].is_signed)
+    packed = sum(1 for sha in shas if files[sha].is_packed)
+    sizes = [files[sha].size_bytes for sha in shas]
+    return ClassProfile(
+        files=len(shas),
+        signed_fraction=signed / len(shas),
+        packed_fraction=packed / len(shas),
+        median_size_bytes=int(statistics.median(sizes)),
+        mean_prevalence=sum(prevalence[sha] for sha in shas) / len(shas),
+    )
+
+
+def unknown_characteristics(labeled: LabeledDataset) -> UnknownCharacteristics:
+    """Profile unknown files against benign and malicious files.
+
+    The signer-overlap fractions are computed over *signed* unknown
+    files: how many carry a signer also seen on known-malicious (only)
+    files, on known-benign (only) files, or on no labeled file at all.
+    Signers seen on both sides count toward neither exclusive bucket
+    (a rule learner would reject or conflict on them).
+    """
+    files = labeled.dataset.files
+    by_label = {
+        label: labeled.files_with_label(label)
+        for label in (FileLabel.UNKNOWN, FileLabel.BENIGN, FileLabel.MALICIOUS)
+    }
+    profiles = {
+        label: _profile(labeled, shas) for label, shas in by_label.items()
+    }
+
+    benign_signers = {
+        files[sha].signer
+        for sha in by_label[FileLabel.BENIGN]
+        if files[sha].signer
+    }
+    malicious_signers = {
+        files[sha].signer
+        for sha in by_label[FileLabel.MALICIOUS]
+        if files[sha].signer
+    }
+    malicious_only = malicious_signers - benign_signers
+    benign_only = benign_signers - malicious_signers
+
+    signed_unknowns = [
+        files[sha].signer
+        for sha in by_label[FileLabel.UNKNOWN]
+        if files[sha].signer
+    ]
+    total_signed = len(signed_unknowns)
+    if total_signed == 0:
+        return UnknownCharacteristics(profiles, 0.0, 0.0, 0.0)
+    overlap_malicious = sum(
+        1 for signer in signed_unknowns if signer in malicious_only
+    )
+    overlap_benign = sum(
+        1 for signer in signed_unknowns if signer in benign_only
+    )
+    unseen = sum(
+        1
+        for signer in signed_unknowns
+        if signer not in malicious_signers and signer not in benign_signers
+    )
+    return UnknownCharacteristics(
+        profiles=profiles,
+        signer_overlap_with_malicious=overlap_malicious / total_signed,
+        signer_overlap_with_benign=overlap_benign / total_signed,
+        signer_unseen_fraction=unseen / total_signed,
+    )

@@ -1,0 +1,48 @@
+"""Related-work baseline detectors (Section VIII).
+
+The paper positions its rule system against three families of prior
+download-reputation systems and argues they fall short on the
+low-prevalence long tail:
+
+* **Polonium** (Chau et al.) -- tera-scale graph mining: file reputation
+  propagated over the machine-file bipartite graph.  The paper notes it
+  "reports 48% detection rate on files with prevalences of 2 and 3, and
+  it does not work on files seen on single machines".
+  → :mod:`repro.baselines.polonium`
+* **CAMP / Amico / Mastino** -- reputation of the download URL/domain.
+  The paper's Tables III/IV show popular hosting domains serve both
+  benign and malicious files, poisoning such reputations.
+  → :mod:`repro.baselines.url_reputation`
+* a trivial **prevalence heuristic** (popular = benign), the implicit
+  assumption behind telemetry-driven whitelisting.
+  → :mod:`repro.baselines.prevalence`
+
+All baselines share the interface of
+:class:`repro.baselines.base.BaselineDetector`: fit on a labeled month,
+then score files of a later month; ``benchmarks/bench_baselines.py``
+compares them against the rule system *by prevalence bucket*.
+"""
+
+from .base import (
+    PREVALENCE_BUCKETS,
+    BaselineDetector,
+    BaselineScore,
+    PrevalenceBucketResult,
+    evaluate_by_prevalence,
+)
+from .polonium import PoloniumBaseline
+from .prevalence import PrevalenceBaseline
+from .rule_system import RuleSystemDetector
+from .url_reputation import UrlReputationBaseline
+
+__all__ = [
+    "PREVALENCE_BUCKETS",
+    "BaselineDetector",
+    "BaselineScore",
+    "PoloniumBaseline",
+    "PrevalenceBaseline",
+    "PrevalenceBucketResult",
+    "RuleSystemDetector",
+    "UrlReputationBaseline",
+    "evaluate_by_prevalence",
+]

@@ -1,0 +1,126 @@
+"""Common interface and evaluation for the baseline detectors."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineScore:
+    """A detector's verdict on one file.
+
+    ``score`` is a maliciousness score in [0, 1]; ``verdict`` is the
+    thresholded decision, or ``None`` when the detector abstains (e.g.
+    Polonium on files it has no evidence about).
+    """
+
+    score: float
+    verdict: Optional[bool]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+
+class BaselineDetector(abc.ABC):
+    """Fit on one labeled dataset, score files of another."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(self, labeled: LabeledDataset) -> "BaselineDetector":
+        """Learn reputations from a labeled (training) month."""
+
+    @abc.abstractmethod
+    def score(self, labeled: LabeledDataset, file_sha1: str) -> BaselineScore:
+        """Score one file of a (test) dataset."""
+
+
+@dataclasses.dataclass
+class PrevalenceBucketResult:
+    """Detection metrics within one prevalence bucket."""
+
+    bucket: str
+    malicious: int
+    detected: int
+    benign: int
+    false_positives: int
+    abstained: int
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.malicious if self.malicious else 0.0
+
+    @property
+    def fp_rate(self) -> float:
+        return (
+            self.false_positives / self.benign if self.benign else 0.0
+        )
+
+
+#: Prevalence buckets used for the long-tail comparison.
+PREVALENCE_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("1", 1, 1),
+    ("2-3", 2, 3),
+    ("4-9", 4, 9),
+    ("10+", 10, 10**9),
+)
+
+
+def _bucket_of(prevalence: int) -> str:
+    for name, low, high in PREVALENCE_BUCKETS:
+        if low <= prevalence <= high:
+            return name
+    raise AssertionError("unreachable")
+
+
+def evaluate_by_prevalence(
+    detector: BaselineDetector,
+    test: LabeledDataset,
+    exclude_sha1s: Optional[set] = None,
+) -> List[PrevalenceBucketResult]:
+    """Score a test month's labeled files, bucketed by file prevalence.
+
+    This is the cut the paper uses to argue that prior systems miss the
+    long tail: a detector may look strong overall while abstaining or
+    failing on prevalence-1 files.
+    """
+    excluded = exclude_sha1s or set()
+    prevalence = test.dataset.file_prevalence
+    counters: Dict[str, Dict[str, int]] = defaultdict(
+        lambda: {"malicious": 0, "detected": 0, "benign": 0,
+                 "false_positives": 0, "abstained": 0}
+    )
+    for sha1, label in test.file_labels.items():
+        if sha1 in excluded or not label.is_confident:
+            continue
+        bucket = _bucket_of(prevalence[sha1])
+        entry = counters[bucket]
+        result = detector.score(test, sha1)
+        if result.verdict is None:
+            entry["abstained"] += 1
+        if label == FileLabel.MALICIOUS:
+            entry["malicious"] += 1
+            if result.verdict:
+                entry["detected"] += 1
+        else:
+            entry["benign"] += 1
+            if result.verdict:
+                entry["false_positives"] += 1
+    return [
+        PrevalenceBucketResult(
+            bucket=name,
+            malicious=counters[name]["malicious"],
+            detected=counters[name]["detected"],
+            benign=counters[name]["benign"],
+            false_positives=counters[name]["false_positives"],
+            abstained=counters[name]["abstained"],
+        )
+        for name, _, _ in PREVALENCE_BUCKETS
+    ]

@@ -1,0 +1,35 @@
+"""Trivial prevalence heuristic: rare = suspicious, popular = benign.
+
+The implicit assumption behind telemetry whitelisting.  Included as the
+floor baseline: on this dataset it is close to useless, because *both*
+the unknown mass and most malware live at prevalence 1 (Figure 2) while
+benign files spread over the whole range.
+"""
+
+from __future__ import annotations
+
+from ..labeling.ground_truth import LabeledDataset
+from .base import BaselineDetector, BaselineScore
+
+#: Files with prevalence at or below this are flagged suspicious.
+_RARE_THRESHOLD = 2
+
+
+class PrevalenceBaseline(BaselineDetector):
+    """Flag low-prevalence files as malicious."""
+
+    name = "prevalence"
+
+    def __init__(self, rare_threshold: int = _RARE_THRESHOLD) -> None:
+        if rare_threshold < 1:
+            raise ValueError("rare_threshold must be >= 1")
+        self.rare_threshold = rare_threshold
+
+    def fit(self, labeled: LabeledDataset) -> "PrevalenceBaseline":
+        return self  # nothing to learn
+
+    def score(self, labeled: LabeledDataset, file_sha1: str) -> BaselineScore:
+        prevalence = labeled.dataset.file_prevalence[file_sha1]
+        rare = prevalence <= self.rare_threshold
+        score = 1.0 / prevalence
+        return BaselineScore(score=min(1.0, score), verdict=rare)

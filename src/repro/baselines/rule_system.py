@@ -1,0 +1,65 @@
+"""The paper's rule system wrapped in the baseline-detector interface.
+
+Lets ``benchmarks/bench_baselines.py`` compare PART rules against the
+related-work detectors on identical footing, including the per-prevalence
+breakdown.  Abstentions (no matching rule, or a rejected conflict) map to
+``verdict=None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.classifier import ConflictPolicy, RuleBasedClassifier
+from ..core.dataset import MALICIOUS_CLASS, TrainingSet
+from ..core.features import FeatureExtractor
+from ..core.part import PartLearner
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.whitelists import AlexaService
+from .base import BaselineDetector, BaselineScore
+
+
+class RuleSystemDetector(BaselineDetector):
+    """PART rules + tau selection + conflict rejection."""
+
+    name = "rule-system"
+
+    def __init__(
+        self,
+        alexa: AlexaService,
+        tau: float = 0.001,
+        min_coverage: int = 1,
+        policy: ConflictPolicy = ConflictPolicy.REJECT,
+    ) -> None:
+        self._alexa = alexa
+        self.tau = tau
+        self.min_coverage = min_coverage
+        self.policy = policy
+        self._classifier: Optional[RuleBasedClassifier] = None
+        self._vector_cache: Dict[int, Dict[str, object]] = {}
+
+    def fit(self, labeled: LabeledDataset) -> "RuleSystemDetector":
+        training = TrainingSet.from_labeled(labeled, self._alexa)
+        rules = PartLearner(training.schema).fit(training.instances)
+        selected = rules.select(self.tau, min_coverage=self.min_coverage)
+        self._classifier = RuleBasedClassifier(selected, self.policy)
+        return self
+
+    def _vectors(self, labeled: LabeledDataset):
+        key = id(labeled)
+        if key not in self._vector_cache:
+            extractor = FeatureExtractor(labeled, self._alexa)
+            self._vector_cache[key] = extractor.extract_all()
+        return self._vector_cache[key]
+
+    def score(self, labeled: LabeledDataset, file_sha1: str) -> BaselineScore:
+        if self._classifier is None:
+            raise RuntimeError("fit() must be called before score()")
+        vector = self._vectors(labeled)[file_sha1]
+        decision = self._classifier.classify(vector.values)
+        if decision.label is None:
+            return BaselineScore(score=0.5, verdict=None)
+        is_malicious = decision.label == MALICIOUS_CLASS
+        return BaselineScore(
+            score=1.0 if is_malicious else 0.0, verdict=is_malicious
+        )

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows::
+
+    python -m repro.cli generate --scale 0.01 --out corpus/
+    python -m repro.cli report   --scale 0.01 --experiment table1 fig5
+    python -m repro.cli rules    --scale 0.01 --train-month 0 --tau 0.001
+    python -m repro.cli evaluate --scale 0.01 --out results/
+
+``generate`` exports the telemetry corpus (and its ground truth) as
+JSONL; ``report`` renders any subset of the paper's tables/figures;
+``rules`` prints the learned human-readable rules for one training
+month; ``evaluate`` runs the full Tables XVI/XVII experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from . import reporting
+from .core.evaluation import full_evaluation, learn_rules
+from .pipeline import Session, build_session
+from .synth.world import WorldConfig
+from .telemetry.io import save_dataset
+
+#: Experiment name -> renderer taking (labeled) or (labeled, alexa).
+_EXPERIMENTS: Dict[str, str] = {
+    "table1": "render_table_i",
+    "table2": "render_table_ii",
+    "table3": "render_table_iii",
+    "table4": "render_table_iv",
+    "table5": "render_table_v",
+    "table6": "render_table_vi",
+    "table7": "render_table_vii",
+    "table8": "render_table_viii",
+    "table9": "render_table_ix",
+    "table10": "render_table_x",
+    "table11": "render_table_xi",
+    "table12": "render_table_xii",
+    "table13": "render_table_xiii",
+    "table14": "render_table_xiv",
+    "fig1": "render_fig_1",
+    "fig2": "render_fig_2",
+    "fig3": "render_fig_3",
+    "fig4": "render_fig_4",
+    "fig5": "render_fig_5",
+    "fig6": "render_fig_6",
+    "packers": "render_packers",
+}
+
+_NEEDS_ALEXA = {"fig3", "fig6"}
+
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="world seed (default 7)")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="corpus scale relative to the paper (default 0.01)")
+
+
+def _session(args: argparse.Namespace) -> Session:
+    config = WorldConfig(seed=args.seed, scale=args.scale)
+    print(
+        f"building synthetic world (seed={config.seed}, "
+        f"scale={config.scale}) ...",
+        file=sys.stderr,
+    )
+    return build_session(config)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    session = _session(args)
+    out = Path(args.out)
+    save_dataset(session.dataset, out)
+    labels_path = out / "labels.jsonl"
+    with open(labels_path, "w", encoding="utf-8") as handle:
+        for sha1, label in sorted(session.labeled.file_labels.items()):
+            extraction = session.labeled.file_types.get(sha1)
+            handle.write(
+                json.dumps(
+                    {
+                        "sha1": sha1,
+                        "label": label.value,
+                        "type": extraction.mtype.value if extraction else None,
+                        "family": session.labeled.file_families.get(sha1),
+                    }
+                )
+                + "\n"
+            )
+    print(
+        f"wrote {len(session.dataset.events)} events, "
+        f"{len(session.dataset.files)} files and their ground truth to "
+        f"{out}/"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    wanted: List[str] = args.experiment or sorted(_EXPERIMENTS)
+    unknown = [name for name in wanted if name not in _EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; choose from "
+            f"{', '.join(sorted(_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    session = _session(args)
+    for name in wanted:
+        renderer: Callable = getattr(reporting, _EXPERIMENTS[name])
+        if name in _NEEDS_ALEXA:
+            text = renderer(session.labeled, session.alexa)
+        else:
+            text = renderer(session.labeled)
+        print(text)
+        print()
+    if args.csv_dir:
+        paths = reporting.export_figure_csvs(
+            session.labeled, session.alexa, args.csv_dir
+        )
+        print(
+            f"wrote {len(paths)} figure CSVs to {args.csv_dir}/",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_avtype(args: argparse.Namespace) -> int:
+    """Behavior-type extraction over JSONL detections (the paper's open
+    source AVType tool, Section II-C)."""
+    from .labeling.avtype import TypeExtractor
+
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        lines = Path(args.input).read_text(encoding="utf-8").splitlines()
+    extractor = TypeExtractor()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            detections = record.get("detections", record)
+        except (json.JSONDecodeError, AttributeError):
+            print(f"line {number}: malformed JSON", file=sys.stderr)
+            return 2
+        result = extractor.extract(detections)
+        print(
+            json.dumps(
+                {
+                    "sha1": record.get("sha1") if isinstance(record, dict)
+                    else None,
+                    "type": result.mtype.value,
+                    "resolution": result.resolution,
+                }
+            )
+        )
+    fractions = extractor.resolution_fractions
+    print(
+        "resolutions: "
+        + ", ".join(f"{k}={v:.2f}" for k, v in fractions.items()),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    session = _session(args)
+    rules, training = learn_rules(session.labeled, session.alexa,
+                                  args.train_month)
+    selected = rules.select(args.tau, min_coverage=args.min_coverage)
+    print(
+        f"# {len(training)} training files -> {len(rules)} rules; "
+        f"{len(selected)} selected at tau={args.tau} "
+        f"min_coverage={args.min_coverage}"
+    )
+    for rule in sorted(selected.rules, key=lambda r: -r.coverage):
+        print(f"{rule.render()}  # coverage={rule.coverage} "
+              f"errors={rule.errors}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    session = _session(args)
+    evaluation = full_evaluation(
+        session.labeled, session.alexa, taus=tuple(args.tau)
+    )
+    xvi = reporting.render_table_xvi(evaluation)
+    xvii = reporting.render_table_xvii(evaluation)
+    print(xvi)
+    print()
+    print(xvii)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "table_xvi.txt").write_text(xvi + "\n", encoding="utf-8")
+        (out / "table_xvii.txt").write_text(xvii + "\n", encoding="utf-8")
+        print(f"\nwrote results to {out}/", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Exploring the Long Tail of (Malicious) "
+            "Software Downloads' (DSN 2017)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a corpus and export it as JSONL"
+    )
+    _add_world_arguments(generate)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(func=_cmd_generate)
+
+    report = commands.add_parser(
+        "report", help="render paper tables/figures"
+    )
+    _add_world_arguments(report)
+    report.add_argument(
+        "--experiment", nargs="*",
+        help=f"experiments to render (default: all of "
+             f"{', '.join(sorted(_EXPERIMENTS))})",
+    )
+    report.add_argument(
+        "--csv-dir", help="also export figure data series as CSVs here"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    avtype = commands.add_parser(
+        "avtype",
+        help="extract behavior types from AV detections (JSONL in/out)",
+    )
+    avtype.add_argument(
+        "input",
+        help="JSONL file of {'sha1': ..., 'detections': {engine: label}} "
+             "records, or '-' for stdin",
+    )
+    avtype.set_defaults(func=_cmd_avtype)
+
+    rules = commands.add_parser(
+        "rules", help="learn and print classification rules for one month"
+    )
+    _add_world_arguments(rules)
+    rules.add_argument("--train-month", type=int, default=0,
+                       help="0-based training month (default 0 = January)")
+    rules.add_argument("--tau", type=float, default=0.001,
+                       help="max rule training error rate (default 0.001)")
+    rules.add_argument("--min-coverage", type=int, default=1,
+                       help="min training coverage per rule (default 1)")
+    rules.set_defaults(func=_cmd_rules)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the Tables XVI/XVII monthly evaluation"
+    )
+    _add_world_arguments(evaluate)
+    evaluate.add_argument("--tau", type=float, nargs="*", default=[0.0, 0.001],
+                          help="error thresholds (default: 0.0 0.001)")
+    evaluate.add_argument("--out", help="optional output directory")
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Rule-based classification with conflict rejection (Section VI-D).
+
+The learned rules are applied as an *unordered* set: a file may match
+several rules.  When matching rules disagree, the paper's system
+"rejects" the file -- it refuses to classify rather than risk an error.
+Alternative conflict policies (majority vote, first match) are provided
+for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import Counter
+from typing import Optional, Sequence
+
+from .dataset import MALICIOUS_CLASS, Instance
+from .rules import RuleSet
+
+
+class ConflictPolicy(enum.Enum):
+    """How disagreements among matching rules are handled."""
+
+    REJECT = "reject"
+    MAJORITY = "majority"
+    FIRST_MATCH = "first_match"
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """Outcome of classifying one feature vector."""
+
+    label: Optional[str]
+    matched_rules: tuple
+    rejected: bool
+
+    @property
+    def matched(self) -> bool:
+        """Whether any rule matched (even if the result was rejected)."""
+        return bool(self.matched_rules)
+
+    @property
+    def classified(self) -> bool:
+        """Whether a label was produced."""
+        return self.label is not None
+
+
+@dataclasses.dataclass
+class EvaluationResult:
+    """TP/FP accounting over a labeled test set (Table XVII columns)."""
+
+    malicious_matched: int
+    true_positives: int
+    benign_matched: int
+    false_positives: int
+    rejected: int
+    unmatched: int
+    fp_rules: tuple
+
+    @property
+    def tp_rate(self) -> float:
+        """TP rate over matched-and-classified malicious samples."""
+        return (
+            self.true_positives / self.malicious_matched
+            if self.malicious_matched else 0.0
+        )
+
+    @property
+    def fp_rate(self) -> float:
+        """FP rate over matched-and-classified benign samples."""
+        return (
+            self.false_positives / self.benign_matched
+            if self.benign_matched else 0.0
+        )
+
+
+class RuleBasedClassifier:
+    """Applies a selected rule set with a conflict policy."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        policy: ConflictPolicy = ConflictPolicy.REJECT,
+    ) -> None:
+        self.rules = rules
+        self.policy = policy
+
+    def classify(self, values: Sequence) -> Decision:
+        """Classify one feature-value tuple."""
+        matched = tuple(
+            rule for rule in self.rules if rule.matches(values)
+        )
+        if not matched:
+            return Decision(label=None, matched_rules=(), rejected=False)
+        predictions = {rule.prediction for rule in matched}
+        if len(predictions) == 1:
+            return Decision(
+                label=matched[0].prediction, matched_rules=matched,
+                rejected=False,
+            )
+        if self.policy == ConflictPolicy.REJECT:
+            return Decision(label=None, matched_rules=matched, rejected=True)
+        if self.policy == ConflictPolicy.FIRST_MATCH:
+            return Decision(
+                label=matched[0].prediction, matched_rules=matched,
+                rejected=False,
+            )
+        votes = Counter(rule.prediction for rule in matched)
+        ranked = votes.most_common()
+        if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+            return Decision(label=None, matched_rules=matched, rejected=True)
+        return Decision(
+            label=ranked[0][0], matched_rules=matched, rejected=False
+        )
+
+    def evaluate(self, instances: Sequence[Instance]) -> EvaluationResult:
+        """TP/FP evaluation over labeled instances.
+
+        Following Section VI-D, rates are computed only over samples that
+        match at least one rule and are not rejected.
+        """
+        malicious_matched = 0
+        true_positives = 0
+        benign_matched = 0
+        false_positives = 0
+        rejected = 0
+        unmatched = 0
+        fp_rules = set()
+        for instance in instances:
+            decision = self.classify(instance.values)
+            if not decision.matched:
+                unmatched += 1
+                continue
+            if decision.rejected:
+                rejected += 1
+                continue
+            if instance.label == MALICIOUS_CLASS:
+                malicious_matched += 1
+                if decision.label == MALICIOUS_CLASS:
+                    true_positives += 1
+            else:
+                benign_matched += 1
+                if decision.label == MALICIOUS_CLASS:
+                    false_positives += 1
+                    for rule in decision.matched_rules:
+                        if rule.prediction == MALICIOUS_CLASS:
+                            fp_rules.add(rule)
+        return EvaluationResult(
+            malicious_matched=malicious_matched,
+            true_positives=true_positives,
+            benign_matched=benign_matched,
+            false_positives=false_positives,
+            rejected=rejected,
+            unmatched=unmatched,
+            fp_rules=tuple(fp_rules),
+        )

@@ -1,0 +1,125 @@
+"""Evasion experiments against the rule-based classifier (Section VII).
+
+The paper argues that evading the system is *possible but impractical*:
+an attacker can buy fresh signing certificates (expensive, per-variant)
+or steal a benign vendor's certificate (hard, and revocable).  This
+module makes those attacks executable so their cost/benefit can be
+measured:
+
+* :func:`resign_fresh` -- every malicious file gets a brand-new signer
+  identity the learner has never seen (certificate churn);
+* :func:`resign_stolen` -- malicious files are signed with certificates
+  of known-benign vendors (certificate theft);
+* :func:`strip_signatures` -- signatures are removed entirely (the
+  zero-cost evasion, which however surrenders the "looks legitimate"
+  social-engineering benefit the paper documents in Table VI).
+
+All three operate on Table XV feature vectors, so they compose with any
+trained classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .features import FEATURE_NAMES, NO_CA, UNSIGNED, FeatureVector
+
+_SIGNER_INDEX = FEATURE_NAMES.index("file_signer")
+_CA_INDEX = FEATURE_NAMES.index("file_ca")
+
+
+def _replace(vector: FeatureVector, signer: str, ca: str) -> FeatureVector:
+    values = list(vector.values)
+    values[_SIGNER_INDEX] = signer
+    values[_CA_INDEX] = ca
+    return FeatureVector(file_sha1=vector.file_sha1, values=tuple(values))
+
+
+def resign_fresh(
+    vectors: Mapping[str, FeatureVector],
+    rng: np.random.Generator,
+    certificates_per_campaign: int = 1,
+) -> Dict[str, FeatureVector]:
+    """Re-sign every file with newly purchased certificate identities.
+
+    ``certificates_per_campaign`` controls how many files share one fresh
+    certificate: 1 models fully polymorphic signing (maximally evasive,
+    maximally expensive), larger values model certificate reuse across a
+    campaign -- which a retrained learner can catch again.
+    """
+    if certificates_per_campaign < 1:
+        raise ValueError("certificates_per_campaign must be >= 1")
+    result = {}
+    current_name = None
+    used = 0
+    for sha1, vector in sorted(vectors.items()):
+        if current_name is None or used >= certificates_per_campaign:
+            serial = int(rng.integers(0, 10**9))
+            current_name = f"Fresh Cert Holdings {serial}"
+            used = 0
+        used += 1
+        result[sha1] = _replace(
+            vector, current_name, "thawte code signing ca g2"
+        )
+    return result
+
+
+def resign_stolen(
+    vectors: Mapping[str, FeatureVector],
+    rng: np.random.Generator,
+    benign_signers: Sequence[str],
+) -> Dict[str, FeatureVector]:
+    """Re-sign every file with a stolen known-benign certificate."""
+    if not benign_signers:
+        raise ValueError("need at least one benign signer to steal")
+    pool = sorted(benign_signers)
+    return {
+        sha1: _replace(
+            vector,
+            pool[int(rng.integers(0, len(pool)))],
+            "verisign class 3 code signing 2010 ca",
+        )
+        for sha1, vector in vectors.items()
+    }
+
+
+def strip_signatures(
+    vectors: Mapping[str, FeatureVector],
+) -> Dict[str, FeatureVector]:
+    """Remove every file signature (the zero-cost evasion)."""
+    return {
+        sha1: _replace(vector, UNSIGNED, NO_CA)
+        for sha1, vector in vectors.items()
+    }
+
+
+def match_rate(classifier, vectors: Iterable[FeatureVector]) -> Dict[str, float]:
+    """Fractions of vectors matched / labeled malicious by a classifier.
+
+    Returns ``{"matched": ..., "malicious": ..., "rejected": ...}`` over
+    the given vectors (each fraction of the total).
+    """
+    from .dataset import MALICIOUS_CLASS
+
+    total = 0
+    matched = 0
+    malicious = 0
+    rejected = 0
+    for vector in vectors:
+        total += 1
+        decision = classifier.classify(vector.values)
+        if decision.matched:
+            matched += 1
+        if decision.rejected:
+            rejected += 1
+        if decision.label == MALICIOUS_CLASS:
+            malicious += 1
+    if total == 0:
+        return {"matched": 0.0, "malicious": 0.0, "rejected": 0.0}
+    return {
+        "matched": matched / total,
+        "malicious": malicious / total,
+        "rejected": rejected / total,
+    }

@@ -1,0 +1,229 @@
+"""The PART rule learner (Frank & Witten, ICML 1998).
+
+PART combines separate-and-conquer rule learning with partial C4.5
+decision trees:
+
+1. build a *partial* tree on the remaining instances -- subsets of each
+   split are expanded in order of increasing entropy, expansion stops as
+   soon as an expanded subtree cannot be replaced by a leaf, and subtree
+   replacement uses C4.5's pessimistic error estimate;
+2. the developed leaf covering the most instances becomes a rule (the
+   conjunction of the tests on its path);
+3. instances covered by the rule are removed and the process repeats.
+
+The result is an ordered rule list ending in a default rule.  The paper
+uses the learned rules as an *unordered* set with conflict rejection
+(Section VI-D); that policy lives in :mod:`repro.core.classifier`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from .dataset import AttributeKind, AttributeSpec, Instance
+from .decision_tree import (
+    DEFAULT_CF,
+    DEFAULT_MIN_INSTANCES,
+    InnerNode,
+    Leaf,
+    Node,
+    SplitSelector,
+    class_counts,
+    entropy,
+    make_leaf,
+    pessimistic_added_errors,
+    subtree_errors,
+)
+from .rules import Condition, Rule, RuleSet
+
+
+@dataclasses.dataclass(frozen=True)
+class _LeafPath:
+    """A developed leaf and the branch conditions leading to it."""
+
+    leaf: Leaf
+    conditions: Tuple[Condition, ...]
+
+
+class PartLearner:
+    """Learns an ordered rule list from labeled instances."""
+
+    def __init__(
+        self,
+        schema: Sequence[AttributeSpec],
+        min_instances: int = DEFAULT_MIN_INSTANCES,
+        cf: float = DEFAULT_CF,
+        max_depth: int = 30,
+        max_rules: int = 10_000,
+        prune: bool = False,
+    ) -> None:
+        """``prune`` enables C4.5 subtree replacement inside the partial
+        trees.  The paper's deployment keeps the fine-grained per-signer
+        leaves and filters rules afterwards by training error (the tau
+        threshold of Section VI-D), which corresponds to ``prune=False``;
+        pessimistic replacement is available for ablation."""
+        self.schema = tuple(schema)
+        self.cf = cf
+        self.max_depth = max_depth
+        self.max_rules = max_rules
+        self.prune = prune
+        self._selector = SplitSelector(schema, min_instances)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def fit(self, instances: Sequence[Instance]) -> RuleSet:
+        """Learn rules until every instance is covered.
+
+        The separate-and-conquer loop extracts each rule from the
+        *remaining* instances, but the returned rules carry coverage and
+        error statistics re-measured on the **full** training set: a rule
+        extracted late (e.g. "file is not signed -> malicious" after all
+        signed files were removed) would otherwise look spuriously clean,
+        and the Section VI-D tau filter would keep broad, error-prone
+        rules.
+        """
+        remaining = list(instances)
+        rules: List[Rule] = []
+        while remaining and len(rules) < self.max_rules:
+            root = self._expand(remaining, depth=0)
+            best = self._best_developed_leaf(root)
+            rule = Rule(
+                conditions=best.conditions,
+                prediction=best.leaf.prediction,
+                coverage=best.leaf.coverage,
+                errors=best.leaf.errors,
+            )
+            rules.append(rule)
+            before = len(remaining)
+            remaining = [
+                instance
+                for instance in remaining
+                if not rule.matches(instance.values)
+            ]
+            if len(remaining) == before:
+                raise AssertionError(
+                    "PART extracted a rule covering no instances; "
+                    "this indicates a partition/condition mismatch"
+                )
+        return RuleSet([
+            self._restate(rule, instances) for rule in rules
+        ])
+
+    @staticmethod
+    def _restate(rule: Rule, instances: Sequence[Instance]) -> Rule:
+        """Re-measure a rule's coverage/errors on the full training set."""
+        coverage = 0
+        errors = 0
+        for instance in instances:
+            if rule.matches(instance.values):
+                coverage += 1
+                if instance.label != rule.prediction:
+                    errors += 1
+        return Rule(
+            conditions=rule.conditions,
+            prediction=rule.prediction,
+            coverage=coverage,
+            errors=errors,
+        )
+
+    # ------------------------------------------------------------------
+    # Partial tree expansion
+    # ------------------------------------------------------------------
+
+    def _expand(self, instances: List[Instance], depth: int) -> Node:
+        """Build a partial tree: entropy-ordered subset expansion with
+        stop-on-unreplaceable-subtree, per Frank & Witten."""
+        if depth >= self.max_depth:
+            return make_leaf(instances)
+        split = self._selector.best_split(instances)
+        if split is None:
+            return make_leaf(instances)
+        branches = split.partition(instances)
+        if len(branches) < 2:
+            return make_leaf(instances)
+        ordered = sorted(
+            branches.items(),
+            key=lambda item: (entropy(class_counts(item[1])), item[0]),
+        )
+        children = {}
+        node_counts = class_counts(instances)
+        for position, (key, subset) in enumerate(ordered):
+            child = self._expand(subset, depth + 1)
+            children[key] = child
+            if not child.is_leaf:
+                # An expanded subtree survived replacement: stop here and
+                # leave the remaining subsets undeveloped.
+                for other_key, other_subset in ordered[position + 1:]:
+                    children[other_key] = make_leaf(
+                        other_subset, developed=False
+                    )
+                return InnerNode(split=split, children=children,
+                                 counts=node_counts)
+        node = InnerNode(split=split, children=children, counts=node_counts)
+        if not self.prune:
+            return node
+        collapsed = make_leaf(instances)
+        collapsed_errors = collapsed.errors + pessimistic_added_errors(
+            collapsed.coverage, collapsed.errors, self.cf
+        )
+        if collapsed_errors <= subtree_errors(node, self.cf) + 0.1:
+            return collapsed
+        return node
+
+    # ------------------------------------------------------------------
+    # Rule extraction
+    # ------------------------------------------------------------------
+
+    def _best_developed_leaf(self, root: Node) -> _LeafPath:
+        """The developed leaf with the largest coverage.
+
+        Ties prefer lower error rate, then shorter paths, then the
+        lexicographically smallest condition rendering (determinism).
+        """
+        paths = list(self._developed_leaves(root, ()))
+        if not paths:
+            # The root was an inner node whose first expanded child kept
+            # structure all the way down without any developed leaf --
+            # impossible because recursion bottoms out in developed
+            # leaves; guard anyway.
+            raise AssertionError("partial tree has no developed leaf")
+        def sort_key(path: _LeafPath):
+            return (
+                -path.leaf.coverage,
+                path.leaf.errors / max(1, path.leaf.coverage),
+                len(path.conditions),
+                tuple(c.render() for c in path.conditions),
+            )
+        return min(paths, key=sort_key)
+
+    def _developed_leaves(self, node: Node, conditions: Tuple[Condition, ...]):
+        if node.is_leaf:
+            if node.developed:
+                yield _LeafPath(leaf=node, conditions=conditions)
+            return
+        for key, child in node.children.items():
+            yield from self._developed_leaves(
+                child, conditions + (self._condition_for(node, key),)
+            )
+
+    def _condition_for(self, node: InnerNode, key: str) -> Condition:
+        split = node.split
+        spec = self.schema[split.attribute]
+        if split.kind == AttributeKind.CATEGORICAL:
+            return Condition(
+                feature=spec.name,
+                attribute=split.attribute,
+                kind=AttributeKind.CATEGORICAL,
+                operator="==",
+                value=key,
+            )
+        return Condition(
+            feature=spec.name,
+            attribute=split.attribute,
+            kind=AttributeKind.NUMERIC,
+            operator="<=" if key == "<=" else ">",
+            value=split.threshold,
+        )

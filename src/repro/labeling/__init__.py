@@ -1,0 +1,80 @@
+"""Ground-truth substrate: AV ecosystem, whitelists and labeling policy.
+
+Implements Section II-B/II-C of the paper: the simulated VirusTotal-style
+scanning service with signature-development lag, the file whitelist and
+URL reputation services, the five-way file labeling policy, the AVclass
+family labeler and the AVType behavior-type extractor.
+"""
+
+from .av import (
+    ALL_ENGINES,
+    INTERPRETATION_MAP,
+    LEADING_ENGINES,
+    OTHER_ENGINES,
+    TRUSTED_ENGINES,
+    interpret_label,
+    synthesize_label,
+)
+from .avclass import (
+    DEFAULT_ALIASES,
+    GENERIC_TOKENS,
+    extract_family,
+    family_distribution,
+    label_families,
+)
+from .avtype import TypeExtraction, TypeExtractor, extract_type, type_distribution
+from .ground_truth import (
+    LIKELY_BENIGN_SPAN_DAYS,
+    GroundTruthLabeler,
+    LabeledDataset,
+    build_labeler,
+    label_world,
+)
+from .labels import (
+    Browser,
+    FileLabel,
+    MalwareType,
+    ProcessCategory,
+    UrlLabel,
+    browser_from_name,
+    categorize_process_name,
+)
+from .virustotal import FINAL_QUERY_DAY, VirusTotalSimulator, VTReport
+from .whitelists import AlexaService, FileWhitelist, UrlReputationService
+
+__all__ = [
+    "ALL_ENGINES",
+    "DEFAULT_ALIASES",
+    "FINAL_QUERY_DAY",
+    "GENERIC_TOKENS",
+    "INTERPRETATION_MAP",
+    "LEADING_ENGINES",
+    "LIKELY_BENIGN_SPAN_DAYS",
+    "OTHER_ENGINES",
+    "TRUSTED_ENGINES",
+    "AlexaService",
+    "Browser",
+    "FileLabel",
+    "FileWhitelist",
+    "GroundTruthLabeler",
+    "LabeledDataset",
+    "MalwareType",
+    "ProcessCategory",
+    "TypeExtraction",
+    "TypeExtractor",
+    "UrlLabel",
+    "UrlReputationService",
+    "VTReport",
+    "VirusTotalSimulator",
+    "browser_from_name",
+    "categorize_process_name",
+    "extract_family",
+    "extract_type",
+    "family_distribution",
+    "interpret_label",
+    "label_families",
+    "label_world",
+    "build_labeler",
+    "synthesize_label",
+    "type_distribution",
+]

@@ -1,0 +1,278 @@
+"""Simulated anti-virus engine ecosystem and AV label text synthesis.
+
+The paper labels files with VirusTotal results from ~50 AV engines, of
+which ten popular vendors are "trusted" and five leading vendors
+(Microsoft, Symantec, TrendMicro, Kaspersky, McAfee -- footnote 2) are
+used for behavior-type extraction via a vendor label interpretation map.
+
+This module defines that engine registry and, for each leading vendor, a
+*label grammar*: how the vendor renders a (type, family) pair as a
+detection string, and the inverse keyword map used by
+:mod:`repro.labeling.avtype` to interpret labels.  Synthesizing labels
+and parsing them from the same grammar keeps the round trip honest while
+still exercising real string parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .labels import MalwareType
+
+#: The five leading engines used for type extraction (paper footnote 2).
+LEADING_ENGINES: Tuple[str, ...] = (
+    "Microsoft",
+    "Symantec",
+    "TrendMicro",
+    "Kaspersky",
+    "McAfee",
+)
+
+#: The ten "trusted" engines (Section II-B).  Includes the five leading
+#: vendors plus five other major AVs.
+TRUSTED_ENGINES: Tuple[str, ...] = LEADING_ENGINES + (
+    "Avast",
+    "AVG",
+    "Avira",
+    "ESET-NOD32",
+    "Sophos",
+)
+
+#: The remaining, less-reliable engines available on the scanning service.
+OTHER_ENGINES: Tuple[str, ...] = (
+    "AegisLab", "Agnitum", "AhnLab-V3", "Antiy-AVL", "Baidu",
+    "BitDefender", "Bkav", "ByteHero", "CAT-QuickHeal", "ClamAV",
+    "CMC", "Comodo", "Cyren", "DrWeb", "Emsisoft",
+    "F-Prot", "F-Secure", "Fortinet", "GData", "Ikarus",
+    "Jiangmin", "K7AntiVirus", "K7GW", "Kingsoft", "Malwarebytes",
+    "eScan", "NANO-Antivirus", "Norman", "nProtect", "Panda",
+    "Qihoo-360", "Rising", "SUPERAntiSpyware", "TheHacker", "TotalDefense",
+    "VBA32", "VIPRE", "ViRobot", "Zillya", "Zoner",
+)
+
+#: Every engine on the simulated scanning service.
+ALL_ENGINES: Tuple[str, ...] = TRUSTED_ENGINES + OTHER_ENGINES
+
+
+def _cap(family: str) -> str:
+    return family[:1].upper() + family[1:]
+
+
+# ----------------------------------------------------------------------
+# Per-vendor label grammars
+# ----------------------------------------------------------------------
+#
+# For each leading vendor: type -> (format template, type keyword).  The
+# keyword is the token an analyst's interpretation map would match; the
+# template renders a full label.  ``{fam}`` is the family name (vendor
+# casing applied), ``{sfx}`` a short random suffix, ``{hex}`` a hex token.
+
+_TM_PREFIX: Dict[MalwareType, str] = {
+    MalwareType.DROPPER: "TROJ_DLOADR",
+    MalwareType.PUP: "PUA_",
+    MalwareType.ADWARE: "ADW_",
+    MalwareType.TROJAN: "TROJ_",
+    MalwareType.BANKER: "TSPY_BANKER",
+    MalwareType.BOT: "BKDR_",
+    MalwareType.FAKEAV: "TROJ_FAKEAV",
+    MalwareType.RANSOMWARE: "RANSOM_",
+    MalwareType.WORM: "WORM_",
+    MalwareType.SPYWARE: "TSPY_",
+}
+
+_MS_TYPE: Dict[MalwareType, str] = {
+    MalwareType.DROPPER: "TrojanDownloader",
+    MalwareType.PUP: "PUA",
+    MalwareType.ADWARE: "Adware",
+    MalwareType.TROJAN: "Trojan",
+    MalwareType.BANKER: "PWS",
+    MalwareType.BOT: "Backdoor",
+    MalwareType.FAKEAV: "Rogue",
+    MalwareType.RANSOMWARE: "Ransom",
+    MalwareType.WORM: "Worm",
+    MalwareType.SPYWARE: "SpyWare",
+}
+
+_KASPERSKY_TYPE: Dict[MalwareType, str] = {
+    MalwareType.DROPPER: "Trojan-Downloader",
+    MalwareType.PUP: "not-a-virus:Downloader",
+    MalwareType.ADWARE: "not-a-virus:AdWare",
+    MalwareType.TROJAN: "Trojan",
+    MalwareType.BANKER: "Trojan-Banker",
+    MalwareType.BOT: "Backdoor",
+    MalwareType.FAKEAV: "Trojan-FakeAV",
+    MalwareType.RANSOMWARE: "Trojan-Ransom",
+    MalwareType.WORM: "Worm",
+    MalwareType.SPYWARE: "Trojan-Spy",
+}
+
+_SYMANTEC_TYPE: Dict[MalwareType, str] = {
+    MalwareType.DROPPER: "Downloader",
+    MalwareType.PUP: "PUA",
+    MalwareType.ADWARE: "Adware",
+    MalwareType.TROJAN: "Trojan",
+    MalwareType.BANKER: "Infostealer.Banker",
+    MalwareType.BOT: "Backdoor",
+    MalwareType.FAKEAV: "FakeAV",
+    MalwareType.RANSOMWARE: "Ransom",
+    MalwareType.WORM: "W32.Worm",
+    MalwareType.SPYWARE: "Spyware",
+}
+
+_MCAFEE_TYPE: Dict[MalwareType, str] = {
+    MalwareType.DROPPER: "Downloader",
+    MalwareType.PUP: "PUP",
+    MalwareType.ADWARE: "Adware",
+    MalwareType.TROJAN: "Trojan",
+    MalwareType.BANKER: "PWS-Banker",
+    MalwareType.BOT: "BackDoor",
+    MalwareType.FAKEAV: "FakeAlert",
+    MalwareType.RANSOMWARE: "Ransom",
+    MalwareType.WORM: "W32/Worm",
+    MalwareType.SPYWARE: "Spy",
+}
+
+
+def synthesize_label(
+    engine: str,
+    mtype: Optional[MalwareType],
+    family: Optional[str],
+    rng: np.random.Generator,
+) -> str:
+    """Render a plausible detection string for one engine.
+
+    ``mtype=None`` (or ``UNDEFINED``) produces a *generic* label carrying
+    no type keyword (e.g. McAfee's ``Artemis!...`` heuristic names) --
+    these drive the paper's "undefined" malicious type bucket.
+    """
+    fam = _cap(family) if family else "Agent"
+    sfx = "".join(
+        "abcdefghijklmnopqrstuvwxyz"[int(rng.integers(0, 26))] for _ in range(4)
+    )
+    hexes = f"{int(rng.integers(0, 16**12)):012X}"
+    generic = mtype is None or mtype == MalwareType.UNDEFINED
+
+    if engine == "Microsoft":
+        if generic:
+            return f"VirTool:Win32/Obfuscator.{sfx.upper()[:2]}"
+        return f"{_MS_TYPE[mtype]}:Win32/{fam}.{sfx.upper()[:2]}"
+    if engine == "Symantec":
+        if generic:
+            return f"Trojan.Gen.{sfx.upper()[:1]}"
+        return f"{_SYMANTEC_TYPE[mtype]}.{fam}"
+    if engine == "TrendMicro":
+        if generic:
+            return f"TROJ_GEN.{sfx.upper()}"
+        prefix = _TM_PREFIX[mtype]
+        body = fam.upper() if prefix.endswith("_") else ""
+        return f"{prefix}{body}.{sfx.upper()[:3]}"
+    if engine == "Kaspersky":
+        if generic:
+            return f"UDS:DangerousObject.Multi.Generic"
+        return f"{_KASPERSKY_TYPE[mtype]}.Win32.{fam}.{sfx}"
+    if engine == "McAfee":
+        if generic:
+            return f"Artemis!{hexes}"
+        type_token = _MCAFEE_TYPE[mtype]
+        if mtype == MalwareType.DROPPER:
+            return f"Downloader-{sfx.upper()[:3]}!{hexes[:10]}"
+        return f"{type_token}-{fam}!{hexes[:8]}"
+    # Non-leading engines: a loose community-style label.
+    if generic:
+        return f"Gen:Variant.{fam}.{int(rng.integers(1, 999))}"
+    return f"{_cap(mtype.value)}.{fam}.{sfx}"
+
+
+# ----------------------------------------------------------------------
+# The label interpretation map (Table II footnote / Section II-C)
+# ----------------------------------------------------------------------
+
+#: ``engine -> [(keyword, type)]`` checked in order; first match wins.
+#: More specific keywords are listed before generic ones (e.g. Kaspersky's
+#: ``Trojan-Downloader`` before ``Trojan``).
+INTERPRETATION_MAP: Dict[str, List[Tuple[str, MalwareType]]] = {
+    "Microsoft": [
+        ("virtool", MalwareType.UNDEFINED),
+        ("trojandownloader", MalwareType.DROPPER),
+        ("pua", MalwareType.PUP),
+        ("adware", MalwareType.ADWARE),
+        ("pws", MalwareType.BANKER),
+        ("backdoor", MalwareType.BOT),
+        ("rogue", MalwareType.FAKEAV),
+        ("ransom", MalwareType.RANSOMWARE),
+        ("worm", MalwareType.WORM),
+        ("spyware", MalwareType.SPYWARE),
+        ("trojan", MalwareType.TROJAN),
+    ],
+    "Symantec": [
+        ("downloader", MalwareType.DROPPER),
+        ("pua", MalwareType.PUP),
+        ("adware", MalwareType.ADWARE),
+        ("infostealer.banker", MalwareType.BANKER),
+        ("backdoor", MalwareType.BOT),
+        ("fakeav", MalwareType.FAKEAV),
+        ("ransom", MalwareType.RANSOMWARE),
+        ("worm", MalwareType.WORM),
+        ("spyware", MalwareType.SPYWARE),
+        ("trojan.gen", MalwareType.UNDEFINED),
+        ("trojan", MalwareType.TROJAN),
+    ],
+    "TrendMicro": [
+        ("troj_dloadr", MalwareType.DROPPER),
+        ("troj_fakeav", MalwareType.FAKEAV),
+        ("troj_gen", MalwareType.UNDEFINED),
+        ("pua_", MalwareType.PUP),
+        ("adw_", MalwareType.ADWARE),
+        ("tspy_banker", MalwareType.BANKER),
+        ("bkdr_", MalwareType.BOT),
+        ("ransom_", MalwareType.RANSOMWARE),
+        ("worm_", MalwareType.WORM),
+        ("tspy_", MalwareType.SPYWARE),
+        ("troj_", MalwareType.TROJAN),
+    ],
+    "Kaspersky": [
+        ("trojan-downloader", MalwareType.DROPPER),
+        ("not-a-virus:downloader", MalwareType.PUP),
+        ("not-a-virus:adware", MalwareType.ADWARE),
+        ("trojan-banker", MalwareType.BANKER),
+        ("backdoor", MalwareType.BOT),
+        ("trojan-fakeav", MalwareType.FAKEAV),
+        ("trojan-ransom", MalwareType.RANSOMWARE),
+        ("worm", MalwareType.WORM),
+        ("trojan-spy", MalwareType.SPYWARE),
+        ("dangerousobject", MalwareType.UNDEFINED),
+        ("trojan", MalwareType.TROJAN),
+    ],
+    "McAfee": [
+        ("artemis", MalwareType.UNDEFINED),
+        ("downloader", MalwareType.DROPPER),
+        ("pup", MalwareType.PUP),
+        ("adware", MalwareType.ADWARE),
+        ("pws-banker", MalwareType.BANKER),
+        ("backdoor", MalwareType.BOT),
+        ("fakealert", MalwareType.FAKEAV),
+        ("ransom", MalwareType.RANSOMWARE),
+        ("worm", MalwareType.WORM),
+        ("spy", MalwareType.SPYWARE),
+        ("trojan", MalwareType.TROJAN),
+    ],
+}
+
+
+def interpret_label(engine: str, label: str) -> Optional[MalwareType]:
+    """Map one engine's detection string to a behavior type.
+
+    Returns ``None`` when the engine has no interpretation map (i.e. is
+    not one of the five leading vendors); returns ``UNDEFINED`` when the
+    label is recognizably generic.
+    """
+    keyword_map = INTERPRETATION_MAP.get(engine)
+    if keyword_map is None:
+        return None
+    lowered = label.lower()
+    for keyword, mtype in keyword_map:
+        if keyword in lowered:
+            return mtype
+    return MalwareType.UNDEFINED

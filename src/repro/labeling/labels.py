@@ -1,0 +1,196 @@
+"""Label taxonomy shared across the whole reproduction.
+
+The paper labels three kinds of objects:
+
+* downloaded **files** and downloading **processes** receive one of five
+  labels (Section II-B): ``benign``, ``likely benign``, ``malicious``,
+  ``likely malicious`` or ``unknown``;
+* **malicious** files and processes additionally receive a *behavior type*
+  (Section II-C, Table II) such as ``dropper`` or ``ransomware``;
+* download **URLs** receive ``benign``, ``malicious`` or ``unknown``
+  (Section II-B).
+
+This module defines those taxonomies as enums together with the orderings
+the paper relies on (e.g. the *specificity* ranking used by the behavior
+type extractor's conflict-resolution rule 2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FileLabel(enum.Enum):
+    """Ground-truth label of a downloaded file or downloading process.
+
+    Mirrors the five-way labeling of Section II-B.  ``LIKELY_BENIGN`` and
+    ``LIKELY_MALICIOUS`` carry some evidence but not enough confidence; the
+    paper excludes them from most measurements, and so do we.
+    """
+
+    BENIGN = "benign"
+    LIKELY_BENIGN = "likely_benign"
+    MALICIOUS = "malicious"
+    LIKELY_MALICIOUS = "likely_malicious"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_confident(self) -> bool:
+        """True for labels the paper treats as reliable ground truth."""
+        return self in (FileLabel.BENIGN, FileLabel.MALICIOUS)
+
+    @property
+    def is_benign_side(self) -> bool:
+        """True for ``benign`` and ``likely benign``."""
+        return self in (FileLabel.BENIGN, FileLabel.LIKELY_BENIGN)
+
+    @property
+    def is_malicious_side(self) -> bool:
+        """True for ``malicious`` and ``likely malicious``."""
+        return self in (FileLabel.MALICIOUS, FileLabel.LIKELY_MALICIOUS)
+
+
+class UrlLabel(enum.Enum):
+    """Ground-truth label of a download URL (Section II-B)."""
+
+    BENIGN = "benign"
+    MALICIOUS = "malicious"
+    UNKNOWN = "unknown"
+
+
+class MalwareType(enum.Enum):
+    """Behavior type of a malicious file (Section II-C, Table II).
+
+    ``UNDEFINED`` covers malicious files whose AV labels are generic
+    (e.g. McAfee's ``Artemis`` heuristic names) or unmapped.
+    """
+
+    DROPPER = "dropper"
+    PUP = "pup"
+    ADWARE = "adware"
+    TROJAN = "trojan"
+    BANKER = "banker"
+    BOT = "bot"
+    FAKEAV = "fakeav"
+    RANSOMWARE = "ransomware"
+    WORM = "worm"
+    SPYWARE = "spyware"
+    UNDEFINED = "undefined"
+
+
+#: Specificity tiers used by the type extractor's rule 2 (Section II-C).
+#:
+#: Higher tier = more specific.  ``trojan`` and ``undefined`` are generic
+#: catch-all labels that AV engines use when the true behavior is unknown,
+#: so any concrete behavior keyword outranks them.  Among the concrete
+#: behaviors, those describing a narrow capability (banking credential
+#: theft, endpoint ransom, remote control, ...) outrank the broad
+#: distribution-oriented classes (dropper, adware, PUP).  Types sharing a
+#: tier cannot be separated by specificity; such conflicts fall through to
+#: the paper's manual-analysis step.
+TYPE_SPECIFICITY: dict = {
+    MalwareType.UNDEFINED: 0,
+    MalwareType.TROJAN: 1,
+    MalwareType.PUP: 2,
+    MalwareType.ADWARE: 2,
+    MalwareType.DROPPER: 2,
+    MalwareType.WORM: 3,
+    MalwareType.BOT: 3,
+    MalwareType.SPYWARE: 3,
+    MalwareType.FAKEAV: 4,
+    MalwareType.RANSOMWARE: 4,
+    MalwareType.BANKER: 4,
+}
+
+#: Types the paper calls "less damaging" (Section V-B).  Transitions *from*
+#: these types *to* anything outside this set (and outside ``UNDEFINED``)
+#: are the "adware/PUP to malware" infections of Figure 5.
+LOW_SEVERITY_TYPES = frozenset({MalwareType.ADWARE, MalwareType.PUP})
+
+#: Types excluded when measuring "other malware" transitions in Figure 5.
+FIG5_EXCLUDED_TYPES = frozenset(
+    {MalwareType.ADWARE, MalwareType.PUP, MalwareType.UNDEFINED}
+)
+
+
+class ProcessCategory(enum.Enum):
+    """Broad class of a *benign* downloading process (Section V-A).
+
+    The paper groups client processes into five classes; Java and Acrobat
+    Reader are split out because they are notoriously exploited.
+    """
+
+    BROWSER = "browser"
+    WINDOWS = "windows"
+    JAVA = "java"
+    ACROBAT = "acrobat"
+    OTHER = "other"
+
+
+class Browser(enum.Enum):
+    """Specific browser families measured in Table XI."""
+
+    FIREFOX = "firefox"
+    CHROME = "chrome"
+    OPERA = "opera"
+    SAFARI = "safari"
+    IE = "ie"
+
+
+#: Canonical on-disk executable names per browser, used by the process
+#: categorizer (the paper labels processes by the launch executable name).
+BROWSER_EXECUTABLES: dict = {
+    Browser.FIREFOX: ("firefox.exe",),
+    Browser.CHROME: ("chrome.exe",),
+    Browser.OPERA: ("opera.exe",),
+    Browser.SAFARI: ("safari.exe",),
+    Browser.IE: ("iexplore.exe",),
+}
+
+#: Executable names of Windows system processes observed downloading files.
+WINDOWS_EXECUTABLES = (
+    "svchost.exe",
+    "explorer.exe",
+    "rundll32.exe",
+    "wscript.exe",
+    "mshta.exe",
+    "cmd.exe",
+    "powershell.exe",
+    "services.exe",
+    "winlogon.exe",
+    "taskhost.exe",
+)
+
+#: Executable names of Java runtime processes.
+JAVA_EXECUTABLES = ("java.exe", "javaw.exe", "javaws.exe", "jp2launcher.exe")
+
+#: Executable names of Acrobat Reader processes.
+ACROBAT_EXECUTABLES = ("acrord32.exe", "acrobat.exe", "reader_sl.exe")
+
+
+def categorize_process_name(executable_name: str):
+    """Map an on-disk executable name to a :class:`ProcessCategory`.
+
+    Returns ``ProcessCategory.OTHER`` for names outside the compiled lists,
+    mirroring the paper's "all other processes" bucket.
+    """
+    name = executable_name.strip().lower()
+    for executables in BROWSER_EXECUTABLES.values():
+        if name in executables:
+            return ProcessCategory.BROWSER
+    if name in WINDOWS_EXECUTABLES:
+        return ProcessCategory.WINDOWS
+    if name in JAVA_EXECUTABLES:
+        return ProcessCategory.JAVA
+    if name in ACROBAT_EXECUTABLES:
+        return ProcessCategory.ACROBAT
+    return ProcessCategory.OTHER
+
+
+def browser_from_name(executable_name: str):
+    """Map an executable name to a :class:`Browser`, or ``None``."""
+    name = executable_name.strip().lower()
+    for browser, executables in BROWSER_EXECUTABLES.items():
+        if name in executables:
+            return browser
+    return None

@@ -1,0 +1,51 @@
+"""One-call pipeline wiring: world -> telemetry -> ground truth.
+
+Most examples, benchmarks and integration tests need the same setup: a
+calibrated synthetic world, the filtered telemetry dataset, the labeled
+dataset and the Alexa service (which doubles as a classification
+feature).  :func:`build_session` bundles them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .labeling.ground_truth import (
+    GroundTruthLabeler,
+    LabeledDataset,
+    build_labeler,
+)
+from .labeling.whitelists import AlexaService
+from .synth.world import World, WorldConfig
+from .telemetry.dataset import TelemetryDataset
+
+
+@dataclasses.dataclass
+class Session:
+    """A fully wired reproduction session."""
+
+    config: WorldConfig
+    world: World
+    dataset: TelemetryDataset
+    labeled: LabeledDataset
+    labeler: GroundTruthLabeler
+    alexa: AlexaService
+
+
+def build_session(config: Optional[WorldConfig] = None) -> Session:
+    """Generate, collect and label one synthetic corpus."""
+    config = config or WorldConfig()
+    world = World(config)
+    dataset = world.collect()
+    labeler = build_labeler(world, dataset)
+    labeled = labeler.label_dataset(dataset)
+    alexa = AlexaService.build(world.corpus.domains)
+    return Session(
+        config=config,
+        world=world,
+        dataset=dataset,
+        labeled=labeled,
+        labeler=labeler,
+        alexa=alexa,
+    )

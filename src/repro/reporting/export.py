@@ -1,0 +1,88 @@
+"""CSV export of figure data series for external plotting tools.
+
+The repository renders figures as text; users who want real plots (e.g.
+matplotlib, gnuplot, a spreadsheet) can export the underlying series::
+
+    from repro.reporting.export import export_figure_csvs
+
+    paths = export_figure_csvs(labeled, alexa, "figures/")
+
+Each figure becomes one tidy CSV (long format: one row per point, a
+``series`` column separating the curves).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .. import analysis
+from ..labeling.ground_truth import LabeledDataset
+from ..labeling.labels import FileLabel
+from ..labeling.whitelists import AlexaService
+
+
+def _write(path: Path, header: List[str], rows: List[List]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_figure_csvs(
+    labeled: LabeledDataset,
+    alexa: AlexaService,
+    directory: Union[str, Path],
+) -> Dict[str, Path]:
+    """Write fig1..fig6 data series as CSVs; returns name -> path."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+
+    # Figure 1: family histogram.
+    families = analysis.family_distribution(labeled)
+    paths["fig1"] = out / "fig1_families.csv"
+    _write(
+        paths["fig1"],
+        ["family", "samples"],
+        [[name, count] for name, count in families.top_families],
+    )
+
+    # Figure 2: prevalence CCDF per class.
+    prevalence = analysis.prevalence_report(labeled)
+    rows = []
+    for label in (FileLabel.UNKNOWN, FileLabel.MALICIOUS, FileLabel.BENIGN):
+        for x, fraction in prevalence.ccdf_series(label):
+            rows.append([label.value, x, fraction])
+    paths["fig2"] = out / "fig2_prevalence_ccdf.csv"
+    _write(paths["fig2"], ["series", "prevalence", "ccdf"], rows)
+
+    # Figures 3 & 6: Alexa rank CDFs.
+    ranks = analysis.alexa_rank_distribution(labeled, alexa)
+    rows = []
+    for label in (FileLabel.BENIGN, FileLabel.MALICIOUS, FileLabel.UNKNOWN):
+        for x, fraction in ranks.cdf(label):
+            rows.append([label.value, x, fraction])
+    paths["fig3_fig6"] = out / "fig3_fig6_alexa_cdf.csv"
+    _write(paths["fig3_fig6"], ["series", "rank", "cdf"], rows)
+
+    # Figure 4: shared-signer scatter.
+    scatter = analysis.shared_signer_scatter(labeled)
+    paths["fig4"] = out / "fig4_shared_signers.csv"
+    _write(
+        paths["fig4"],
+        ["signer", "malicious_files", "benign_files"],
+        [list(entry) for entry in scatter],
+    )
+
+    # Figure 5: infection-timing CDFs.
+    timing = analysis.infection_timing(labeled)
+    rows = []
+    for source in analysis.SOURCES:
+        for x, fraction in timing.cdf(source):
+            rows.append([source, x, fraction])
+    paths["fig5"] = out / "fig5_infection_timing.csv"
+    _write(paths["fig5"], ["series", "days", "cdf"], rows)
+
+    return paths

@@ -1,0 +1,118 @@
+"""Plain-text table rendering for benches, examples and reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def fmt_int(value: int) -> str:
+    """Thousands-separated integer, e.g. ``1,139,183``."""
+    return f"{int(value):,}"
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """Percentage with a trailing ``%``; ``value`` is already in 0..100."""
+    return f"{value:.{digits}f}%"
+
+
+def fmt_frac(value: float, digits: int = 3) -> str:
+    """A 0..1 fraction."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with column-width alignment.
+
+    Numeric-looking cells are right-aligned, text cells left-aligned.
+    """
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(cell: str) -> bool:
+        stripped = cell.replace(",", "").replace("%", "").replace(".", "")
+        stripped = stripped.lstrip("-")
+        return stripped.isdigit() and bool(stripped)
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+" + "+".join("-" * (width + 2) for width in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(headers))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_bars(
+    items: Sequence[tuple],
+    title: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """Horizontal bar chart of (label, count) pairs (e.g. Figure 1)."""
+    lines = [title] if title else []
+    if not items:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    label_width = max(len(str(label)) for label, _ in items)
+    peak = max(count for _, count in items) or 1
+    for label, count in items:
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{str(label).ljust(label_width)} {bar} {fmt_int(count)}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+    x_format=lambda x: f"{x:g}",
+) -> str:
+    """One CDF as aligned (x, F(x)) rows with a dot-bar visual."""
+    lines = [title] if title else []
+    for x, fraction in series:
+        bar = "." * round(40 * fraction)
+        lines.append(f"{x_format(x).rjust(10)}  {fraction:6.3f} {bar}")
+    return "\n".join(lines)
+
+
+def render_multi_cdf(
+    named_series,
+    title: Optional[str] = None,
+    x_format=lambda x: f"{x:g}",
+) -> str:
+    """Several CDFs over the same grid, one column per series."""
+    names = list(named_series.keys())
+    lines = [title] if title else []
+    header = "x".rjust(10) + "".join(name.rjust(12) for name in names)
+    lines.append(header)
+    grids = [dict(points) for points in named_series.values()]
+    xs = sorted({x for points in named_series.values() for x, _ in points})
+    for x in xs:
+        row = x_format(x).rjust(10)
+        for grid in grids:
+            value = grid.get(x)
+            row += (f"{value:12.3f}" if value is not None else " " * 12)
+        lines.append(row)
+    return "\n".join(lines)

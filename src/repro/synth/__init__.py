@@ -1,0 +1,61 @@
+"""Synthetic telemetry world generator.
+
+Substitutes the paper's proprietary Trend Micro telemetry (see DESIGN.md
+section 2) with a statistically calibrated generative model: signer,
+packer and domain ecosystems; a file population with the published label,
+type, signing and prevalence distributions; a machine population with
+per-category download behaviour; and an event simulator with infection
+chains driven by the Table XII transition matrix and Figure 5 delay
+models.
+"""
+
+from .behavior import MachineFactory, ProcessEcosystem
+from .calibration import PAPER_RESULTS
+from .distributions import (
+    CategoricalSampler,
+    DelayModel,
+    PrevalenceModel,
+    discrete_power_law,
+    zipf_weights,
+)
+from .domains import DomainEcosystem
+from .entities import (
+    BenignProcess,
+    SyntheticDomain,
+    SyntheticFile,
+    SyntheticMachine,
+)
+from .files import FamilyCatalog, FileFactory, FilePool
+from .names import NameFactory
+from .packers import PackerEcosystem
+from .signers import SignerEcosystem
+from .simulator import RawCorpus, Simulator
+from .world import World, WorldConfig, generate_corpus, generate_dataset
+
+__all__ = [
+    "PAPER_RESULTS",
+    "BenignProcess",
+    "CategoricalSampler",
+    "DelayModel",
+    "DomainEcosystem",
+    "FamilyCatalog",
+    "FileFactory",
+    "FilePool",
+    "MachineFactory",
+    "NameFactory",
+    "PackerEcosystem",
+    "PrevalenceModel",
+    "ProcessEcosystem",
+    "RawCorpus",
+    "SignerEcosystem",
+    "Simulator",
+    "SyntheticDomain",
+    "SyntheticFile",
+    "SyntheticMachine",
+    "World",
+    "WorldConfig",
+    "discrete_power_law",
+    "generate_corpus",
+    "generate_dataset",
+    "zipf_weights",
+]

@@ -1,0 +1,271 @@
+"""Machine population and benign-process ecosystem (Tables X/XI).
+
+* :class:`ProcessEcosystem` creates the benign client-process *versions*
+  (distinct hashes) per category -- browsers, Windows system processes,
+  Java, Acrobat Reader and "all other" -- with counts scaled from Table X.
+* :class:`MachineFactory` creates the monitored machine population with
+  per-machine activity windows shaped so the monthly machine counts decay
+  like Table I, a preferred browser drawn from the Table XI market share,
+  and a behaviour profile governing download risk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..labeling.labels import (
+    ACROBAT_EXECUTABLES,
+    BROWSER_EXECUTABLES,
+    JAVA_EXECUTABLES,
+    WINDOWS_EXECUTABLES,
+    Browser,
+    FileLabel,
+    ProcessCategory,
+)
+from ..telemetry.events import MONTH_STARTS, NUM_MONTHS
+from . import calibration
+from .distributions import CategoricalSampler
+from .entities import BenignProcess, SyntheticMachine
+from .names import NameFactory
+
+#: Vendor signature on each benign process category's executables.
+_CATEGORY_SIGNERS: Dict[ProcessCategory, str] = {
+    ProcessCategory.WINDOWS: "Microsoft Windows",
+    ProcessCategory.JAVA: "Oracle America Inc.",
+    ProcessCategory.ACROBAT: "Adobe Systems Incorporated",
+}
+
+_BROWSER_SIGNERS: Dict[Browser, str] = {
+    Browser.FIREFOX: "Mozilla Corporation",
+    Browser.CHROME: "Google Inc",
+    Browser.OPERA: "Opera Software ASA",
+    Browser.SAFARI: "Apple Inc.",
+    Browser.IE: "Microsoft Windows",
+}
+
+#: Per-machine behaviour profiles: (weight, risk multiplier, event-volume
+#: multiplier, unknown-download propensity).  "Risk" scales the
+#: probability that a download turns out malicious; volume scales how many
+#: downloads the machine performs; the unknown propensity scales the
+#: unknown share of the machine's downloads.  The sizeable "clean"
+#: population (machines that only fetch well-known software) is what
+#: leaves ~30% of machines with no unknown download at all, matching the
+#: paper's "69% of machines downloaded at least one unknown file".
+PROFILES: Dict[str, tuple] = {
+    "casual": (0.37, 0.80, 0.75, 1.0),
+    "clean": (0.35, 0.45, 0.42, 0.18),
+    "hunter": (0.18, 1.30, 1.80, 1.05),
+    "risky": (0.10, 1.70, 1.60, 1.05),
+}
+
+#: Mean download events per engaged machine in each category, tuned so the
+#: full-scale event volume matches Table I (~2.7 events/machine overall).
+CATEGORY_EVENT_MEANS: Dict[ProcessCategory, float] = {
+    ProcessCategory.BROWSER: 2.2,
+    ProcessCategory.WINDOWS: 1.25,
+    ProcessCategory.JAVA: 1.0,
+    ProcessCategory.ACROBAT: 1.0,
+    ProcessCategory.OTHER: 2.0,
+}
+
+#: Start-month weights producing Table I's declining monthly machine
+#: counts, given the short (mean ~1.3 month) per-machine activity spans.
+_START_MONTH_WEIGHTS = (292.0, 173.0, 187.0, 154.0, 127.0, 131.0, 113.0)
+
+#: Geometric continuation probability: P(active k months) = (1-p) p^(k-1).
+_MONTH_CONTINUE_PROB = 0.25
+
+
+class ProcessEcosystem:
+    """The pre-existing benign client processes (Table X/XI versions)."""
+
+    def __init__(
+        self, rng: np.random.Generator, names: NameFactory, scale: float
+    ) -> None:
+        self._rng = rng
+        self.by_category: Dict[ProcessCategory, List[BenignProcess]] = {
+            category: [] for category in ProcessCategory
+        }
+        self.by_browser: Dict[Browser, List[BenignProcess]] = {}
+
+        for browser, target in calibration.BROWSER_TARGETS.items():
+            count = calibration.sublinear_scaled(target.versions, scale, minimum=2)
+            versions = [
+                BenignProcess(
+                    sha1=names.sha1(),
+                    executable_name=BROWSER_EXECUTABLES[browser][0],
+                    category=ProcessCategory.BROWSER,
+                    browser=browser,
+                    signer=_BROWSER_SIGNERS[browser],
+                    ca=calibration.SEED_CAS[1],
+                )
+                for _ in range(count)
+            ]
+            self.by_browser[browser] = versions
+            self.by_category[ProcessCategory.BROWSER].extend(versions)
+
+        self._build_category(
+            names, scale, ProcessCategory.WINDOWS, WINDOWS_EXECUTABLES
+        )
+        self._build_category(names, scale, ProcessCategory.JAVA, JAVA_EXECUTABLES)
+        self._build_category(
+            names, scale, ProcessCategory.ACROBAT, ACROBAT_EXECUTABLES
+        )
+        other_count = calibration.sublinear_scaled(
+            calibration.PROCESS_CATEGORY_TARGETS[ProcessCategory.OTHER].versions,
+            scale,
+            minimum=5,
+        )
+        self.by_category[ProcessCategory.OTHER] = [
+            BenignProcess(
+                sha1=names.sha1(),
+                executable_name=names.file_name(),
+                category=ProcessCategory.OTHER,
+                browser=None,
+                signer=None if rng.random() < 0.5 else names.company_name(),
+                ca=None,
+            )
+            for _ in range(other_count)
+        ]
+        # Signed "other" processes need a CA.
+        self.by_category[ProcessCategory.OTHER] = [
+            dataclasses.replace(
+                process,
+                ca=calibration.SEED_CAS[
+                    int(rng.integers(0, len(calibration.SEED_CAS)))
+                ]
+                if process.signer
+                else None,
+            )
+            for process in self.by_category[ProcessCategory.OTHER]
+        ]
+
+        self._samplers = {
+            category: CategoricalSampler.zipf(versions, 0.9)
+            for category, versions in self.by_category.items()
+        }
+        self._browser_samplers = {
+            browser: CategoricalSampler.zipf(versions, 0.9)
+            for browser, versions in self.by_browser.items()
+        }
+
+    def _build_category(
+        self,
+        names: NameFactory,
+        scale: float,
+        category: ProcessCategory,
+        executables,
+    ) -> None:
+        target = calibration.PROCESS_CATEGORY_TARGETS[category]
+        count = calibration.sublinear_scaled(target.versions, scale, minimum=2)
+        self.by_category[category] = [
+            BenignProcess(
+                sha1=names.sha1(),
+                executable_name=executables[index % len(executables)],
+                category=category,
+                browser=None,
+                signer=_CATEGORY_SIGNERS[category],
+                ca=calibration.SEED_CAS[0],
+            )
+            for index in range(count)
+        ]
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        category: ProcessCategory,
+        browser: Optional[Browser] = None,
+    ) -> BenignProcess:
+        """Draw a process version for one event.
+
+        For browser events the machine's preferred ``browser`` selects the
+        version pool, so per-browser machine counts follow market share.
+        """
+        if category == ProcessCategory.BROWSER:
+            if browser is None:
+                raise ValueError("browser events need the machine's browser")
+            return self._browser_samplers[browser].sample(rng)
+        return self._samplers[category].sample(rng)
+
+    def all_processes(self) -> List[BenignProcess]:
+        """Every benign process version in the ecosystem."""
+        return [
+            process
+            for versions in self.by_category.values()
+            for process in versions
+        ]
+
+
+class MachineFactory:
+    """Creates the monitored machine population."""
+
+    def __init__(self, rng: np.random.Generator, names: NameFactory) -> None:
+        self._rng = rng
+        self._names = names
+        profile_names = list(PROFILES.keys())
+        profile_weights = [PROFILES[name][0] for name in profile_names]
+        self._profile_sampler = CategoricalSampler(profile_names, profile_weights)
+        browsers = list(calibration.BROWSER_SHARE.keys())
+        self._browser_sampler = CategoricalSampler(
+            browsers, [calibration.BROWSER_SHARE[b] for b in browsers]
+        )
+        self._start_sampler = CategoricalSampler(
+            list(range(NUM_MONTHS)), list(_START_MONTH_WEIGHTS)
+        )
+
+    def generate(self, count: int) -> Iterator[SyntheticMachine]:
+        """Yield ``count`` machines with activity windows and profiles."""
+        rng = self._rng
+        for index in range(count):
+            start_month = self._start_sampler.sample(rng)
+            months_active = 1
+            while (
+                rng.random() < _MONTH_CONTINUE_PROB
+                and start_month + months_active < NUM_MONTHS
+            ):
+                months_active += 1
+            start_day = MONTH_STARTS[start_month] + rng.uniform(
+                0, MONTH_STARTS[start_month + 1] - MONTH_STARTS[start_month]
+            )
+            end_limit = MONTH_STARTS[min(NUM_MONTHS, start_month + months_active)]
+            end_day = min(
+                MONTH_STARTS[-1] - 1e-6,
+                max(start_day + 0.5, end_limit - rng.uniform(0, 3)),
+            )
+            yield SyntheticMachine(
+                machine_id=self._names.machine_id(index),
+                profile=self._profile_sampler.sample(rng),
+                start_day=start_day,
+                end_day=end_day,
+                browser=self._browser_sampler.sample(rng),
+            )
+
+
+def risk_adjusted_mix(
+    mix: Dict[FileLabel, float], risk: float, unknown_scale: float = 1.0
+) -> Dict[FileLabel, float]:
+    """Adjust a label mix for machine risk and unknown propensity.
+
+    ``risk`` multiplies the malicious-side mass (machine profile x browser
+    risk, Table XI); ``unknown_scale`` multiplies the unknown mass ("clean"
+    machines mostly download well-known software).  The freed or required
+    mass is absorbed by the benign-side classes, and the result is
+    renormalized.
+    """
+    adjusted = {
+        FileLabel.MALICIOUS: mix.get(FileLabel.MALICIOUS, 0.0) * risk,
+        FileLabel.LIKELY_MALICIOUS: (
+            mix.get(FileLabel.LIKELY_MALICIOUS, 0.0) * risk
+        ),
+        FileLabel.UNKNOWN: mix.get(FileLabel.UNKNOWN, 0.0) * unknown_scale,
+    }
+    taken = sum(adjusted.values())
+    remaining = max(0.0, 1.0 - taken)
+    # Clean machines favour well-known (fully whitelisted) software over
+    # short-history "likely benign" files, hence the asymmetric split.
+    adjusted[FileLabel.BENIGN] = remaining * 0.75
+    adjusted[FileLabel.LIKELY_BENIGN] = remaining * 0.25
+    return calibration.normalized_mix(adjusted)

@@ -1,0 +1,766 @@
+"""Paper-published numbers encoded as calibration constants.
+
+Every table of the paper that describes the *dataset* (rather than a
+result computed from it) is transcribed here and used to drive the
+synthetic world generator.  Tables that are pure measurement outputs
+(e.g. Table XVII) are *not* encoded as inputs -- they must emerge from the
+pipeline -- but their headline values are kept as ``PAPER_*`` reference
+targets so that EXPERIMENTS.md and the integration tests can compare
+paper-vs-measured shape.
+
+All absolute volumes are **full-scale** (the paper's seven-month corpus);
+:class:`repro.synth.world.WorldConfig` multiplies them by ``scale``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+from ..labeling.labels import Browser, FileLabel, MalwareType, ProcessCategory
+from .distributions import DelayModel, PrevalenceModel
+
+# ----------------------------------------------------------------------
+# Table I -- monthly summary
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MonthlyTarget:
+    """One row of Table I (percentages are of the month's totals)."""
+
+    name: str
+    machines: int
+    events: int
+    processes: int
+    proc_benign_pct: float
+    proc_likely_benign_pct: float
+    proc_malicious_pct: float
+    proc_likely_malicious_pct: float
+    files: int
+    file_benign_pct: float
+    file_likely_benign_pct: float
+    file_malicious_pct: float
+    file_likely_malicious_pct: float
+    urls: int
+    url_benign_pct: float
+    url_malicious_pct: float
+
+
+MONTHLY_TARGETS: Tuple[MonthlyTarget, ...] = (
+    MonthlyTarget("January", 292_516, 578_510, 27_265, 15.8, 8.4, 16.2, 4.8,
+                  366_981, 2.9, 2.8, 7.9, 2.8, 318_834, 30.2, 11.6),
+    MonthlyTarget("February", 246_481, 470_291, 25_001, 15.4, 8.2, 16.8, 4.8,
+                  296_362, 3.1, 3.1, 8.9, 3.1, 258_410, 30.0, 12.2),
+    MonthlyTarget("March", 248_568, 493_487, 25_497, 15.7, 9.1, 16.2, 4.6,
+                  312_662, 3.0, 3.1, 9.6, 2.9, 282_179, 33.0, 12.3),
+    MonthlyTarget("April", 215_693, 427_110, 23_078, 16.3, 9.3, 19.4, 4.5,
+                  258_752, 3.6, 3.4, 12.6, 3.2, 250_634, 31.8, 11.3),
+    MonthlyTarget("May", 180_947, 351_271, 20_071, 17.3, 9.5, 19.3, 4.7,
+                  218_156, 3.7, 3.5, 12.5, 3.2, 206_095, 29.9, 18.9),
+    MonthlyTarget("June", 176_463, 351_509, 23_799, 14.3, 8.1, 20.9, 3.8,
+                  206_309, 3.8, 3.4, 14.0, 3.5, 201_920, 29.5, 23.0),
+    MonthlyTarget("July", 157_457, 323_159, 26_304, 12.2, 7.2, 16.6, 3.3,
+                  188_564, 4.0, 3.7, 12.6, 3.6, 187_315, 29.3, 17.9),
+)
+
+#: Table I "Overall" row.
+TOTAL_MACHINES = 1_139_183
+TOTAL_EVENTS = 3_073_863
+TOTAL_FILES = 1_791_803
+TOTAL_PROCESSES = 141_229
+TOTAL_URLS = 1_629_336
+TOTAL_DOMAINS = 96_862
+
+#: Overall file label fractions (Table I, files row).
+FILE_LABEL_FRACTIONS: Dict[FileLabel, float] = {
+    FileLabel.BENIGN: 0.023,
+    FileLabel.LIKELY_BENIGN: 0.025,
+    FileLabel.MALICIOUS: 0.099,
+    FileLabel.LIKELY_MALICIOUS: 0.023,
+    FileLabel.UNKNOWN: 0.830,
+}
+
+#: Overall process label fractions (Table I, processes row).
+PROCESS_LABEL_FRACTIONS: Dict[FileLabel, float] = {
+    FileLabel.BENIGN: 0.076,
+    FileLabel.LIKELY_BENIGN: 0.066,
+    FileLabel.MALICIOUS: 0.185,
+    FileLabel.LIKELY_MALICIOUS: 0.031,
+    FileLabel.UNKNOWN: 0.642,
+}
+
+#: Overall URL label fractions (Table I, URLs row; rest unknown).
+URL_BENIGN_FRACTION = 0.298
+URL_MALICIOUS_FRACTION = 0.151
+
+# ----------------------------------------------------------------------
+# Table II -- malicious type mix
+# ----------------------------------------------------------------------
+
+#: Fractions of malicious downloaded files per behavior type.
+TYPE_MIX: Dict[MalwareType, float] = {
+    MalwareType.DROPPER: 0.227,
+    MalwareType.PUP: 0.168,
+    MalwareType.ADWARE: 0.154,
+    MalwareType.TROJAN: 0.113,
+    MalwareType.BANKER: 0.009,
+    MalwareType.BOT: 0.006,
+    MalwareType.FAKEAV: 0.005,
+    MalwareType.RANSOMWARE: 0.003,
+    MalwareType.WORM: 0.001,
+    MalwareType.SPYWARE: 0.0004,
+    MalwareType.UNDEFINED: 0.313,
+}
+
+# ----------------------------------------------------------------------
+# Figure 1 -- malware families
+# ----------------------------------------------------------------------
+
+#: Total number of AVclass families in the corpus.
+TOTAL_FAMILIES = 363
+
+#: Fraction of *type-mapped* malicious samples carrying no family token.
+#: UNDEFINED-type samples (31.3% of malicious files) never carry one, so
+#: overall ~58% of samples end up family-less, matching the paper's
+#: "for 58% of the samples AVclass was unable to derive a family name".
+FAMILY_UNLABELED_FRACTION = 0.39
+
+#: Plausible 2014-era top families seeding the family Zipf head.
+SEED_FAMILIES: Tuple[str, ...] = (
+    "firseria", "outbrowse", "loadmoney", "softpulse", "installrex",
+    "zbot", "sality", "upatre", "vobfus", "zusy",
+    "banload", "virut", "ramnit", "gamarue", "solimba",
+    "amonetize", "domaiq", "ibryte", "lollipop", "zeroaccess",
+    "cryptolocker", "dorkbot", "bladabindi", "multiplug", "somoto",
+)
+
+# ----------------------------------------------------------------------
+# Table VI -- signing rates
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SigningRate:
+    """Fraction of files carrying a valid signature (Table VI)."""
+
+    overall: float
+    from_browsers: float
+
+
+#: Per-malicious-type signing rates.  Two cells are illegible in the
+#: published scan (trojan overall, adware overall); we interpolate from the
+#: neighbouring "from browsers" columns.
+SIGNING_RATES: Dict[MalwareType, SigningRate] = {
+    MalwareType.TROJAN: SigningRate(0.31, 0.42),
+    MalwareType.DROPPER: SigningRate(0.856, 0.90),
+    MalwareType.RANSOMWARE: SigningRate(0.444, 0.687),
+    MalwareType.BOT: SigningRate(0.015, 0.022),
+    MalwareType.WORM: SigningRate(0.055, 0.123),
+    MalwareType.SPYWARE: SigningRate(0.212, 0.250),
+    MalwareType.BANKER: SigningRate(0.012, 0.018),
+    MalwareType.FAKEAV: SigningRate(0.028, 0.045),
+    MalwareType.ADWARE: SigningRate(0.85, 0.918),
+    MalwareType.PUP: SigningRate(0.760, 0.796),
+    MalwareType.UNDEFINED: SigningRate(0.651, 0.713),
+}
+
+#: Signing rates of benign / unknown files (Table VI bottom rows).
+BENIGN_SIGNING_RATE = SigningRate(0.307, 0.321)
+UNKNOWN_SIGNING_RATE = SigningRate(0.384, 0.421)
+
+# ----------------------------------------------------------------------
+# Tables VII--IX -- signer ecosystem
+# ----------------------------------------------------------------------
+
+#: (#signers, #common-with-benign) per malicious type (Table VII).
+SIGNER_COUNTS: Dict[MalwareType, Tuple[int, int]] = {
+    MalwareType.TROJAN: (426, 71),
+    MalwareType.DROPPER: (248, 46),
+    MalwareType.RANSOMWARE: (14, 4),
+    MalwareType.BANKER: (11, 2),
+    MalwareType.BOT: (15, 3),
+    MalwareType.WORM: (7, 1),
+    MalwareType.SPYWARE: (9, 4),
+    MalwareType.FAKEAV: (14, 4),
+    MalwareType.ADWARE: (532, 77),
+    MalwareType.PUP: (691, 108),
+    MalwareType.UNDEFINED: (1025, 339),
+}
+
+#: Table VII "Total" row: distinct malicious signers / common with benign.
+TOTAL_MALICIOUS_SIGNERS = 1870
+TOTAL_SHARED_SIGNERS = 513
+
+#: Top signers that exclusively signed malicious files (Table IX, right).
+SEED_MALICIOUS_SIGNERS: Tuple[str, ...] = (
+    "Somoto Ltd.", "ISBRInstaller", "Somoto Israel", "Apps Installer SL",
+    "SecureInstall", "Firseria", "Amonetize ltd.", "JumpyApps",
+    "ClientConnect LTD", "Media Ingea SL", "RAPIDDOWN", "Sevas-S LLC",
+    "Trusted Software Aps", "The Nielsen Company", "Benjamin Delpy",
+    "Supersoft", "Flores Corporation",
+    "70166A21-2F6A-4CC0-822C-607696D8F4B7",
+    "Xi'an Xinli Software Technology Co.", "R-DATA Sp. z o.o.",
+    "Mipko OOO", "Ts Security System - Seguranca em Sistemas Ltda",
+    "WEBPIC DESENVOLVIMENTO DE SOFTWARE LTDA", "JDI BACKUP LIMITED",
+    "Wallinson", "Webcellence Ltd.", "William Richard John",
+    "Tuto4PC.com", "SITE ON SPOT Ltd.", "Shanghai Gaoxin Computer System Co.",
+    "mail.ru games",
+)
+
+#: Top signers that exclusively signed benign files (Table IX, left).
+SEED_BENIGN_SIGNERS: Tuple[str, ...] = (
+    "TeamViewer", "Blizzard Entertainment", "Lespeed Technology Ltd.",
+    "Hamrick Software", "Dell Inc.", "Google Inc", "NVIDIA Corporation",
+    "Softland S.R.L.", "Adobe Systems Incorporated", "Recovery Toolbox",
+    "Lenovo Information Products (Shenzhen) Co.",
+    "MetaQuotes Software Corp.", "Rare Ideas",
+)
+
+#: Signers observed on both benign and malicious files (Table VIII/Fig 4).
+SEED_SHARED_SIGNERS: Tuple[str, ...] = (
+    "Binstall", "Perion Network Ltd.", "UpdateStar GmbH", "WorldSetup",
+    "AppWork GmbH", "BoomeranGO Inc.", "Refog Inc.", "Video Technology",
+    "Valery Kuzniatsou", "Open Source Developer", "TLAPIA",
+    "AVG Technologies", "BitTorrent", "Somoto Ltd. (legacy)",
+)
+
+#: Per-type exclusive seed signers (Table VIII "exclusive to malware").
+TYPE_SEED_SIGNERS: Dict[MalwareType, Tuple[str, ...]] = {
+    MalwareType.TROJAN: ("Somoto Ltd.", "Somoto Israel", "RAPIDDOWN"),
+    MalwareType.DROPPER: ("Somoto Israel", "Sevas-S LLC", "SecureInstall",
+                          "Somoto Ltd."),
+    MalwareType.RANSOMWARE: ("ISBRInstaller", "Trusted Software Aps",
+                             "The Nielsen Company"),
+    MalwareType.BOT: ("Benjamin Delpy", "Supersoft", "Flores Corporation"),
+    MalwareType.FAKEAV: ("70166A21-2F6A-4CC0-822C-607696D8F4B7", "JumpyApps",
+                         "Xi'an Xinli Software Technology Co."),
+    MalwareType.SPYWARE: ("R-DATA Sp. z o.o.", "Mipko OOO",
+                          "Ts Security System - Seguranca em Sistemas Ltda"),
+    MalwareType.BANKER: ("WEBPIC DESENVOLVIMENTO DE SOFTWARE LTDA",
+                         "JDI BACKUP LIMITED", "Wallinson"),
+    MalwareType.WORM: ("Webcellence Ltd.", "ISBRInstaller",
+                       "William Richard John"),
+    MalwareType.ADWARE: ("Apps Installer SL", "Tuto4PC.com",
+                         "ClientConnect LTD", "mail.ru games"),
+    MalwareType.PUP: ("Somoto Ltd.", "Amonetize ltd.", "Firseria",
+                      "SITE ON SPOT Ltd."),
+    MalwareType.UNDEFINED: ("ISBRInstaller", "JumpyApps", "Somoto Israel",
+                            "Shanghai Gaoxin Computer System Co."),
+}
+
+#: Certification authorities appearing in signature chains.  The first
+#: entry appears in one of the paper's example rules.
+SEED_CAS: Tuple[str, ...] = (
+    "thawte code signing ca g2", "verisign class 3 code signing 2010 ca",
+    "comodo code signing ca 2", "digicert assured id code signing ca",
+    "globalsign codesigning ca g2", "go daddy secure certification authority",
+    "symantec class 3 sha256 code signing ca", "wosign code signing ca",
+    "startcom class 2 primary ca", "certum code signing ca",
+)
+
+# ----------------------------------------------------------------------
+# Section IV-C -- packers
+# ----------------------------------------------------------------------
+
+#: Total distinct packers and how many are used by both populations.
+TOTAL_PACKERS = 69
+SHARED_PACKERS_COUNT = 35
+
+#: Named packers used by both benign and malicious files.
+SEED_SHARED_PACKERS: Tuple[str, ...] = (
+    "INNO", "UPX", "AutoIt", "NSIS", "aspack", "PECompact", "MPRESS",
+    "Armadillo", "InstallShield", "WiseInstaller", "7zSFX", "MSI",
+)
+
+#: Named packers observed exclusively on malicious files.
+SEED_MALICIOUS_PACKERS: Tuple[str, ...] = (
+    "Molebox", "NSPack", "Themida", "VMProtect", "Obsidium", "EXECryptor",
+    "Yoda's Crypter", "PELock",
+)
+
+#: Fractions of files processed with a known packer.
+BENIGN_PACKED_RATE = 0.54
+MALICIOUS_PACKED_RATE = 0.58
+UNKNOWN_PACKED_RATE = 0.56
+
+# ----------------------------------------------------------------------
+# Tables III/IV/V/XIII -- domain ecosystem seeds
+# ----------------------------------------------------------------------
+
+#: Mixed-reputation file hosting / CDN domains (Tables III & IV) with a
+#: relative popularity weight proportional to the paper's machine counts.
+SEED_FILE_HOSTING_DOMAINS: Tuple[Tuple[str, float], ...] = (
+    ("softonic.com", 64_300), ("inbox.com", 49_481), ("cloudfront.net", 20_065),
+    ("amazonaws.com", 17_702), ("driverupdate.net", 17_505),
+    ("arcadefrontier.com", 15_738), ("mediafire.com", 14_336),
+    ("uptodown.com", 13_500), ("ziputil.net", 12_972), ("rackcdn.com", 12_893),
+    ("soft32.com", 18_241), ("softonic.com.br", 9_000), ("softonic.fr", 6_000),
+    ("softonic.jp", 5_000), ("baixaki.com.br", 8_500), ("cdn77.net", 7_000),
+    ("4shared.com", 6_500), ("coolrom.com", 11_000), ("gamehouse.com", 10_000),
+)
+
+#: Dedicated bundler/"download manager" domains serving mostly unknown and
+#: PUP/adware files (Tables III & XIII).
+SEED_BUNDLER_DOMAINS: Tuple[Tuple[str, float], ...] = (
+    ("humipapp.com", 30_966), ("bestdownload-manager.com", 30_376),
+    ("freepdf-converter.com", 25_858), ("free-fileopener.com", 15_179),
+    ("zilliontoolkitusa.info", 9_500), ("files-info.com", 8_000),
+)
+
+#: Adware-distribution domains tied to free live streaming (Table V).
+SEED_STREAMING_DOMAINS: Tuple[Tuple[str, float], ...] = (
+    ("media-watch-app.com", 3_000), ("trustmediaviewer.com", 2_500),
+    ("media-view.net", 2_400), ("media-buzz.org", 2_000),
+    ("media-viewer.com", 1_900), ("zrich-media-view.com", 1_500),
+    ("vidply.net", 1_400), ("mediaply.net", 1_300), ("pinchfist.info", 1_100),
+    ("dl24x7.net", 1_000),
+)
+
+#: Dedicated malware-distribution domains (Table V, dropper/trojan columns).
+SEED_MALWARE_DOMAINS: Tuple[Tuple[str, float], ...] = (
+    ("nzs.com.br", 2_500), ("vitkvitk.com", 1_800),
+    ("d0wnpzivrubajjui.com", 1_600), ("downloadnuchaik.com", 1_400),
+    ("downloadaixeechahgho.com", 1_200), ("wipmsc.ru", 900),
+    ("f-best.biz", 800), ("naver.net", 700), ("ge.tt", 600),
+    ("sharesend.com", 500), ("co.vu", 450), ("gulfup.com", 400),
+    ("hinet.net", 350),
+)
+
+#: Social-engineering fakeav domains (Table V, fakeav column).  Each serves
+#: only a handful of files.
+SEED_FAKEAV_DOMAINS: Tuple[str, ...] = (
+    "5k-stopadware2014.in", "sncpwindefender2014.in", "webantiviruspro-fr.pw",
+    "12e-stopadware2014.in", "zeroantivirusprojectx.nl", "wmicrodefender27.nl",
+    "qwindowsdefender.nl", "alphavirusprotectz.pw", "updatestar.com",
+)
+
+# ----------------------------------------------------------------------
+# Tables X/XI -- benign process ecosystem
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessCategoryTarget:
+    """One row of Table X."""
+
+    versions: int
+    machines: int
+    unknown_files: int
+    benign_files: int
+    malicious_files: int
+    infected_pct: float
+    type_mix: Mapping[MalwareType, float]
+
+
+def _mix(**kwargs: float) -> Dict[MalwareType, float]:
+    """Build a normalized type mix from percentage keyword arguments."""
+    mix = {MalwareType(key): value for key, value in kwargs.items()}
+    total = sum(mix.values())
+    return {mtype: value / total for mtype, value in mix.items()}
+
+
+PROCESS_CATEGORY_TARGETS: Dict[ProcessCategory, ProcessCategoryTarget] = {
+    ProcessCategory.BROWSER: ProcessCategoryTarget(
+        1_342, 799_342, 1_120_855, 28_265, 113_750, 24.44,
+        _mix(dropper=28.05, pup=18.55, trojan=10.48, adware=7.36, fakeav=0.35,
+             ransomware=0.27, banker=0.23, bot=0.22, worm=0.05, spyware=0.03,
+             undefined=34.43),
+    ),
+    ProcessCategory.WINDOWS: ProcessCategoryTarget(
+        587, 429_593, 368_925, 23_059, 68_767, 27.71,
+        _mix(dropper=25.42, pup=17.75, trojan=11.75, adware=5.80, banker=1.23,
+             bot=0.73, ransomware=0.37, fakeav=0.11, worm=0.08, spyware=0.06,
+             undefined=36.70),
+    ),
+    ProcessCategory.JAVA: ProcessCategoryTarget(
+        173, 2_977, 227, 25, 488, 33.36,
+        _mix(trojan=45.29, bot=15.78, dropper=12.30, banker=6.97,
+             ransomware=4.30, pup=1.02, worm=0.82, undefined=12.54),
+    ),
+    ProcessCategory.ACROBAT: ProcessCategoryTarget(
+        9, 1_080, 264, 0, 696, 78.52,
+        _mix(trojan=39.51, dropper=23.71, banker=15.80, bot=8.19,
+             ransomware=3.74, fakeav=1.44, spyware=0.43, worm=0.29,
+             undefined=6.89),
+    ),
+    ProcessCategory.OTHER: ProcessCategoryTarget(
+        8_714, 112_681, 68_334, 5_642, 15_440, 31.24,
+        _mix(pup=22.57, dropper=17.22, trojan=11.34, adware=8.38, fakeav=5.03,
+             banker=1.20, bot=0.79, ransomware=0.44, worm=0.30, spyware=0.02,
+             undefined=32.71),
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class BrowserTarget:
+    """One row of Table XI."""
+
+    versions: int
+    machines: int
+    unknown_files: int
+    benign_files: int
+    malicious_files: int
+    infected_pct: float
+
+
+BROWSER_TARGETS: Dict[Browser, BrowserTarget] = {
+    Browser.FIREFOX: BrowserTarget(378, 86_104, 104_237, 7_411, 21_443, 26.00),
+    Browser.CHROME: BrowserTarget(528, 344_994, 460_214, 17_623, 73_806, 31.92),
+    Browser.OPERA: BrowserTarget(91, 4_337, 4_749, 534, 1_567, 27.83),
+    Browser.SAFARI: BrowserTarget(17, 1_762, 2_579, 117, 422, 18.56),
+    Browser.IE: BrowserTarget(307, 411_138, 561_769, 13_801, 48_206, 18.09),
+}
+
+#: Per-browser malicious-download risk multiplier, tuned so the infection
+#: ranking of Table XI (Chrome highest, IE/Safari lowest) reproduces.
+BROWSER_RISK: Dict[Browser, float] = {
+    Browser.FIREFOX: 1.15,
+    Browser.CHROME: 1.45,
+    Browser.OPERA: 1.25,
+    Browser.SAFARI: 0.90,
+    Browser.IE: 0.80,
+}
+
+# ----------------------------------------------------------------------
+# Table XII -- malicious process behaviour
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MaliciousProcessTarget:
+    """One row of Table XII."""
+
+    processes: int
+    machines: int
+    unknown_files: int
+    benign_files: int
+    malicious_files: int
+    type_mix: Mapping[MalwareType, float]
+
+
+MALICIOUS_PROCESS_TARGETS: Dict[MalwareType, MaliciousProcessTarget] = {
+    MalwareType.TROJAN: MaliciousProcessTarget(
+        3_442, 11_042, 1_265, 73, 4_168,
+        _mix(trojan=51.90, adware=11.80, dropper=10.94, pup=8.25, banker=4.25,
+             bot=0.89, ransomware=0.34, fakeav=0.12, worm=0.10,
+             undefined=11.42),
+    ),
+    MalwareType.DROPPER: MaliciousProcessTarget(
+        4_242, 10_453, 1_565, 267, 2_992,
+        _mix(dropper=39.10, trojan=16.78, pup=10.26, adware=8.46, banker=7.59,
+             bot=1.34, ransomware=0.47, worm=0.30, fakeav=0.20, spyware=0.07,
+             undefined=15.44),
+    ),
+    MalwareType.RANSOMWARE: MaliciousProcessTarget(
+        136, 332, 7, 0, 147,
+        _mix(ransomware=80.95, trojan=9.52, dropper=3.40, banker=1.36,
+             undefined=4.76),
+    ),
+    MalwareType.BOT: MaliciousProcessTarget(
+        323, 689, 81, 2, 394,
+        _mix(bot=64.72, trojan=15.99, dropper=4.57, banker=4.31, pup=2.54,
+             ransomware=1.27, worm=0.51, adware=0.25, fakeav=0.25,
+             undefined=5.58),
+    ),
+    MalwareType.WORM: MaliciousProcessTarget(
+        67, 164, 4, 0, 69,
+        _mix(worm=72.46, banker=8.70, trojan=4.35, dropper=4.35, bot=1.45,
+             pup=1.45, undefined=7.25),
+    ),
+    MalwareType.SPYWARE: MaliciousProcessTarget(
+        7, 19, 2, 1, 6,
+        _mix(spyware=66.67, trojan=16.67, undefined=16.67),
+    ),
+    MalwareType.BANKER: MaliciousProcessTarget(
+        484, 1_146, 47, 5, 525,
+        _mix(banker=76.00, trojan=14.48, dropper=4.00, worm=0.57, fakeav=0.38,
+             ransomware=0.19, bot=0.19, adware=0.19, undefined=4.00),
+    ),
+    MalwareType.FAKEAV: MaliciousProcessTarget(
+        43, 81, 1, 0, 53,
+        _mix(fakeav=56.60, trojan=22.64, banker=9.43, dropper=7.55,
+             undefined=3.77),
+    ),
+    MalwareType.ADWARE: MaliciousProcessTarget(
+        2_862, 16_509, 2_934, 98, 6_078,
+        _mix(adware=66.24, pup=9.97, trojan=6.65, dropper=2.91, banker=0.13,
+             bot=0.03, undefined=14.07),
+    ),
+    MalwareType.PUP: MaliciousProcessTarget(
+        5_597, 32_590, 6_757, 199, 16_957,
+        _mix(adware=58.64, pup=22.91, trojan=6.30, dropper=4.57,
+             ransomware=0.02, bot=0.01, banker=0.01, fakeav=0.01,
+             undefined=7.54),
+    ),
+    MalwareType.UNDEFINED: MaliciousProcessTarget(
+        8_905, 29_216, 6_343, 499, 8_329,
+        _mix(adware=6.52, pup=5.53, dropper=3.77, trojan=3.36, banker=0.36,
+             bot=0.22, worm=0.06, ransomware=0.04, spyware=0.04, fakeav=0.01,
+             undefined=80.09),
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Figure 2 -- prevalence models per label class
+# ----------------------------------------------------------------------
+
+#: Target prevalence mixtures.  Unknown files drive the extreme long tail
+#: (~93% single-machine); benign files are the most prevalent; overall the
+#: corpus lands near the paper's "almost 90% prevalence 1".  The tail caps
+#: exceed the reporting threshold sigma=20 so the collection-server cap is
+#: actually exercised (the paper reports 0.25% of files hit it).
+PREVALENCE_MODELS: Dict[FileLabel, PrevalenceModel] = {
+    FileLabel.UNKNOWN: PrevalenceModel(0.93, 2.6, 30),
+    FileLabel.MALICIOUS: PrevalenceModel(0.78, 2.0, 60),
+    FileLabel.LIKELY_MALICIOUS: PrevalenceModel(0.85, 2.2, 40),
+    FileLabel.BENIGN: PrevalenceModel(0.35, 1.7, 80),
+    FileLabel.LIKELY_BENIGN: PrevalenceModel(0.60, 2.0, 60),
+}
+
+# ----------------------------------------------------------------------
+# Figure 5 -- infection delay models
+# ----------------------------------------------------------------------
+
+#: Time from running a dropper / adware / PUP / benign file to the next
+#: download of "other malware".  Calibrated to the Figure 5 CDFs: dropper
+#: is near-immediate; adware/PUP reach ~40% on day 0 and ~55% by day 5;
+#: benign reaches only ~20% by day 5.
+DELAY_MODELS: Dict[str, DelayModel] = {
+    "dropper": DelayModel(same_day_prob=0.72, tail_scale_days=2.0),
+    "adware": DelayModel(same_day_prob=0.40, tail_scale_days=14.0),
+    "pup": DelayModel(same_day_prob=0.40, tail_scale_days=16.0),
+    "benign": DelayModel(same_day_prob=0.08, tail_scale_days=45.0),
+}
+
+# ----------------------------------------------------------------------
+# Context label mixes (file observability per download context)
+# ----------------------------------------------------------------------
+
+#: Label-class mix of files downloaded in each context.  Derived from
+#: Tables I, X and XII: the browser/casual context dominates volume and is
+#: unknown-heavy; exploit-driven contexts (Java/Acrobat) are
+#: malicious-heavy; malicious-process downloads are ~33% unknown.
+CONTEXT_LABEL_MIXES: Dict[str, Dict[FileLabel, float]] = {
+    "browser": {
+        FileLabel.UNKNOWN: 0.862,
+        FileLabel.BENIGN: 0.022,
+        FileLabel.LIKELY_BENIGN: 0.024,
+        FileLabel.MALICIOUS: 0.070,
+        FileLabel.LIKELY_MALICIOUS: 0.022,
+    },
+    "windows": {
+        FileLabel.UNKNOWN: 0.760,
+        FileLabel.BENIGN: 0.048,
+        FileLabel.LIKELY_BENIGN: 0.030,
+        FileLabel.MALICIOUS: 0.142,
+        FileLabel.LIKELY_MALICIOUS: 0.020,
+    },
+    "java": {
+        FileLabel.UNKNOWN: 0.300,
+        FileLabel.BENIGN: 0.033,
+        FileLabel.LIKELY_BENIGN: 0.010,
+        FileLabel.MALICIOUS: 0.640,
+        FileLabel.LIKELY_MALICIOUS: 0.017,
+    },
+    "acrobat": {
+        FileLabel.UNKNOWN: 0.270,
+        FileLabel.BENIGN: 0.0,
+        FileLabel.LIKELY_BENIGN: 0.005,
+        FileLabel.MALICIOUS: 0.710,
+        FileLabel.LIKELY_MALICIOUS: 0.015,
+    },
+    "other": {
+        FileLabel.UNKNOWN: 0.755,
+        FileLabel.BENIGN: 0.062,
+        FileLabel.LIKELY_BENIGN: 0.030,
+        FileLabel.MALICIOUS: 0.133,
+        FileLabel.LIKELY_MALICIOUS: 0.020,
+    },
+    "malproc": {
+        FileLabel.UNKNOWN: 0.320,
+        FileLabel.BENIGN: 0.019,
+        FileLabel.LIKELY_BENIGN: 0.011,
+        FileLabel.MALICIOUS: 0.630,
+        FileLabel.LIKELY_MALICIOUS: 0.020,
+    },
+}
+
+#: Fraction of *unknown* files that are latently malicious.  Unknowable in
+#: the paper; we pick a middle value so the bonus latent-truth validation
+#: is informative in both directions.
+UNKNOWN_LATENT_MALICIOUS_FRACTION = 0.45
+
+#: Probability that an executed malicious file initiates its own
+#: follow-up downloads (becomes a Table XII process).  Derived from the
+#: ratio of Table XII process counts to Table VI per-type file counts,
+#: divided by the ~1.5 download events each malicious file receives.
+CHAIN_SPAWN_PROB: Dict[MalwareType, float] = {
+    MalwareType.DROPPER: 0.065,
+    MalwareType.TROJAN: 0.10,
+    MalwareType.PUP: 0.12,
+    MalwareType.ADWARE: 0.065,
+    MalwareType.BANKER: 0.19,
+    MalwareType.BOT: 0.20,
+    MalwareType.RANSOMWARE: 0.16,
+    MalwareType.WORM: 0.22,
+    MalwareType.SPYWARE: 0.06,
+    MalwareType.FAKEAV: 0.03,
+    MalwareType.UNDEFINED: 0.10,
+}
+
+#: Spawn-probability damping for latently malicious *unknown* files:
+#: together with :data:`GRAY_CHAIN_SPAWN_PROB` this yields the ~64%
+#: unknown share of distinct downloading processes (Table I).
+UNKNOWN_CHAIN_DAMP = 0.5
+
+#: Mean chain length (number of follow-up downloads) per source type.
+CHAIN_LENGTH_MEAN: Dict[MalwareType, float] = {
+    MalwareType.DROPPER: 2.2,
+    MalwareType.TROJAN: 1.6,
+    MalwareType.PUP: 2.8,
+    MalwareType.ADWARE: 2.4,
+    MalwareType.BANKER: 1.4,
+    MalwareType.BOT: 1.6,
+    MalwareType.RANSOMWARE: 1.3,
+    MalwareType.WORM: 1.3,
+    MalwareType.SPYWARE: 1.2,
+    MalwareType.FAKEAV: 1.4,
+    MalwareType.UNDEFINED: 1.2,
+}
+
+#: Chain spawn probability for latently *benign* ("gray") unknown files --
+#: e.g. unknown updaters fetching further unknown components.
+GRAY_CHAIN_SPAWN_PROB = 0.04
+
+#: Post-infection "aftermath" bursts: once a machine runs a malicious
+#: file, more malware tends to arrive shortly after through its ordinary
+#: processes (browser redirects from malvertising, exploited system
+#: processes, ...).  This is what separates the dropper/adware/PUP curves
+#: of Figure 5 from the benign baseline.  Values are (probability that a
+#: burst follows, delay-model key).
+AFTERMATH_PROB: Dict[MalwareType, Tuple[float, str]] = {
+    MalwareType.DROPPER: (0.35, "dropper"),
+    MalwareType.TROJAN: (0.17, "dropper"),
+    MalwareType.PUP: (0.20, "pup"),
+    MalwareType.ADWARE: (0.20, "adware"),
+    MalwareType.BANKER: (0.14, "dropper"),
+    MalwareType.BOT: (0.17, "dropper"),
+    MalwareType.RANSOMWARE: (0.11, "dropper"),
+    MalwareType.WORM: (0.14, "dropper"),
+    MalwareType.SPYWARE: (0.11, "dropper"),
+    MalwareType.FAKEAV: (0.14, "dropper"),
+    MalwareType.UNDEFINED: (0.08, "dropper"),
+}
+
+#: Damping of aftermath probability for latently malicious unknown files.
+AFTERMATH_UNKNOWN_DAMP = 0.5
+
+#: Mean extra downloads (beyond the first) in one aftermath burst.
+AFTERMATH_LENGTH_MEAN = 0.4
+
+#: Label mix of aftermath downloads: mostly known malware, the rest
+#: latently malicious unknowns.
+AFTERMATH_MALICIOUS_PROB = 0.65
+
+# ----------------------------------------------------------------------
+# Machine behaviour
+# ----------------------------------------------------------------------
+
+#: Probability that a machine engages each benign process category during
+#: its lifetime (ratio of Table X machine counts to the 1.14M total).
+CATEGORY_ENGAGEMENT: Dict[ProcessCategory, float] = {
+    ProcessCategory.BROWSER: 0.70,
+    ProcessCategory.WINDOWS: 0.377,
+    ProcessCategory.JAVA: 0.0026,
+    ProcessCategory.ACROBAT: 0.00095,
+    ProcessCategory.OTHER: 0.0989,
+}
+
+#: Events initiated per engaged category, relative to one browser event.
+CATEGORY_EVENT_RATE: Dict[ProcessCategory, float] = {
+    ProcessCategory.BROWSER: 1.0,
+    ProcessCategory.WINDOWS: 0.55,
+    ProcessCategory.JAVA: 0.45,
+    ProcessCategory.ACROBAT: 0.55,
+    ProcessCategory.OTHER: 0.45,
+}
+
+#: Browser market share among monitored machines (from Table XI machine
+#: counts, normalized).
+BROWSER_SHARE: Dict[Browser, float] = {
+    Browser.IE: 0.484,
+    Browser.CHROME: 0.406,
+    Browser.FIREFOX: 0.101,
+    Browser.OPERA: 0.0051,
+    Browser.SAFARI: 0.0021,
+}
+
+#: Mean browser download events per machine-month (tuned so total event
+#: volume matches Table I at scale 1.0).
+BROWSER_EVENTS_PER_MACHINE_MONTH = 1.05
+
+#: Extra raw (pre-filter) event inflation: fraction of raw downloads never
+#: executed, and fraction hitting whitelisted update URLs.  These exist
+#: only to exercise the agent filters; the paper never reports them.
+RAW_NOT_EXECUTED_RATE = 0.18
+RAW_WHITELISTED_RATE = 0.07
+
+# ----------------------------------------------------------------------
+# Section II-C / Figure 1 -- AV label noise targets
+# ----------------------------------------------------------------------
+
+#: Fractions of malicious files whose type was resolved by each mechanism.
+TYPE_RESOLUTION_TARGETS = {
+    "unanimous": 0.44,
+    "voting": 0.28,
+    "specificity": 0.23,
+    "manual": 0.05,
+}
+
+# ----------------------------------------------------------------------
+# Section VI / Tables XVI-XVII -- headline reference targets (outputs)
+# ----------------------------------------------------------------------
+
+#: Paper-reported headline results the reproduction should approximate.
+PAPER_RESULTS = {
+    "unknown_file_fraction": 0.83,
+    "machines_with_unknown_fraction": 0.69,
+    "single_machine_prevalence_fraction": 0.90,
+    "prevalence_over_sigma_fraction": 0.0025,
+    "rule_tp_rate_min": 0.95,
+    "rule_fp_rate_max": 0.0032,
+    "unknowns_labeled_fraction": 0.283,
+    "label_expansion_pct": 233,
+    "file_signer_rule_fraction": 0.75,
+    "single_feature_rule_fraction": 0.89,
+}
+
+
+def scaled(count: int, scale: float, minimum: int = 1) -> int:
+    """Scale an absolute full-corpus count, keeping a floor."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(count * scale)))
+
+
+def sublinear_scaled(count: int, scale: float, exponent: float = 0.6,
+                     minimum: int = 1) -> int:
+    """Scale an *ecosystem-size* count (signers, domains, versions).
+
+    Ecosystem sizes grow sublinearly with corpus size (Heaps'-law-like), so
+    a scaled-down world keeps proportionally more of them than a linear
+    scale would.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(count * scale**exponent)))
+
+
+def normalized_mix(mix: Mapping) -> Dict:
+    """Return a copy of a weight mapping normalized to sum to 1."""
+    total = float(sum(mix.values()))
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    return {key: value / total for key, value in mix.items()}

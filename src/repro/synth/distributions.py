@@ -1,0 +1,198 @@
+"""Seeded random samplers used by the synthetic telemetry world.
+
+Everything in :mod:`repro.synth` draws randomness through the helpers in
+this module so that a single :class:`numpy.random.SeedSequence` root makes
+the whole world reproducible.  The samplers implement the heavy-tailed
+shapes the paper measures:
+
+* Zipf-weighted categorical draws (domain/signer/file popularity);
+* a discrete bounded power law for the file-prevalence long tail (Fig. 2);
+* the "head + tail" prevalence mixture (~90% of files are downloaded by a
+  single machine, Section IV-A);
+* the infection-delay mixtures behind the Figure 5 CDFs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent generators from one integer seed."""
+    return [np.random.default_rng(s) for s in np.random.SeedSequence(seed).spawn(count)]
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights ``w_i ∝ 1 / (i+1)^exponent``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class CategoricalSampler:
+    """Weighted draws over a fixed item list, with O(1) sampling.
+
+    Uses precomputed cumulative weights with ``searchsorted`` -- the
+    simulator calls these samplers millions of times.
+    """
+
+    def __init__(self, items: Sequence, weights: Sequence[float]) -> None:
+        if len(items) != len(weights):
+            raise ValueError(
+                f"items ({len(items)}) and weights ({len(weights)}) differ"
+            )
+        if len(items) == 0:
+            raise ValueError("cannot sample from an empty item list")
+        weight_array = np.asarray(weights, dtype=float)
+        if (weight_array < 0).any():
+            raise ValueError("weights must be non-negative")
+        total = weight_array.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self._items = list(items)
+        self._cumulative = np.cumsum(weight_array / total)
+        # Guard against floating-point drift leaving the last bin short.
+        self._cumulative[-1] = 1.0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> Sequence:
+        return self._items
+
+    def sample(self, rng: np.random.Generator):
+        """Draw one item."""
+        position = np.searchsorted(self._cumulative, rng.random(), side="right")
+        return self._items[min(position, len(self._items) - 1)]
+
+    @classmethod
+    def zipf(cls, items: Sequence, exponent: float = 1.0) -> "CategoricalSampler":
+        """Zipf-weighted sampler: earlier items are more popular."""
+        return cls(items, zipf_weights(len(items), exponent))
+
+
+def discrete_power_law(
+    rng: np.random.Generator, alpha: float, low: int, high: int
+) -> int:
+    """One draw from a discrete power law ``P(k) ∝ k^-alpha`` on [low, high].
+
+    Uses inverse-transform sampling on the continuous bounded Pareto and
+    floors the result, which is accurate enough for the prevalence tail
+    and avoids building large weight tables.
+    """
+    if low < 1 or high < low:
+        raise ValueError(f"invalid support [{low}, {high}]")
+    if high == low:
+        return low
+    u = rng.random()
+    if abs(alpha - 1.0) < 1e-9:
+        value = low * math.exp(u * math.log((high + 1) / low))
+    else:
+        exponent = 1.0 - alpha
+        low_term = low**exponent
+        high_term = (high + 1) ** exponent
+        value = (low_term + u * (high_term - low_term)) ** (1.0 / exponent)
+    return max(low, min(high, int(value)))
+
+
+@dataclasses.dataclass(frozen=True)
+class PrevalenceModel:
+    """Head+tail mixture for target file prevalence (Figure 2).
+
+    With probability ``single_machine_prob`` a file's target prevalence is
+    1 (the long tail of one-off downloads); otherwise it is drawn from a
+    discrete power law on ``[2, tail_cap]``.  Per-label-class instances
+    are defined in :mod:`repro.synth.calibration`.
+    """
+
+    single_machine_prob: float
+    tail_alpha: float
+    tail_cap: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.single_machine_prob <= 1.0:
+            raise ValueError("single_machine_prob must be a probability")
+        if self.tail_cap < 2:
+            raise ValueError("tail_cap must be >= 2")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw a target prevalence for a new file."""
+        if rng.random() < self.single_machine_prob:
+            return 1
+        return discrete_power_law(rng, self.tail_alpha, 2, self.tail_cap)
+
+    @property
+    def mean(self) -> float:
+        """Approximate expected prevalence (used to balance pool minting)."""
+        tail_values = np.arange(2, self.tail_cap + 1, dtype=float)
+        tail_weights = tail_values**-self.tail_alpha
+        tail_mean = float((tail_values * tail_weights).sum() / tail_weights.sum())
+        return (
+            self.single_machine_prob
+            + (1.0 - self.single_machine_prob) * tail_mean
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayModel:
+    """Mixture model for "time until the next malware download" (Fig. 5).
+
+    With probability ``same_day_prob`` the delta falls within day 0;
+    otherwise it is ``1 + Exponential(tail_scale_days)``, truncated to
+    ``max_days`` when given.  Droppers use a fast model, adware/PUP a
+    slower one and benign software the slowest (Section V-B).
+    """
+
+    same_day_prob: float
+    tail_scale_days: float
+    max_days: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.same_day_prob <= 1.0:
+            raise ValueError("same_day_prob must be a probability")
+        if self.tail_scale_days <= 0:
+            raise ValueError("tail_scale_days must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw a delay in (fractional) days."""
+        if rng.random() < self.same_day_prob:
+            delay = rng.random()
+        else:
+            delay = 1.0 + rng.exponential(self.tail_scale_days)
+        if self.max_days is not None:
+            delay = min(delay, self.max_days)
+        return delay
+
+    def cdf_at(self, days: float, samples: int = 20000, seed: int = 7) -> float:
+        """Monte-Carlo CDF estimate, used by calibration tests."""
+        rng = np.random.default_rng(seed)
+        draws = np.array([self.sample(rng) for _ in range(samples)])
+        return float((draws <= days).mean())
+
+
+def poisson_at_least(rng: np.random.Generator, mean: float, minimum: int = 0) -> int:
+    """Poisson draw clamped below at ``minimum``."""
+    return max(minimum, int(rng.poisson(mean)))
+
+
+def split_count(
+    rng: np.random.Generator, total: int, fractions: Sequence[float]
+) -> Tuple[int, ...]:
+    """Randomly round ``total * fractions`` so the parts sum to ``total``.
+
+    Used when a scaled-down world must distribute a small integer count
+    across strata without systematically losing the rare ones.
+    """
+    fraction_array = np.asarray(fractions, dtype=float)
+    if fraction_array.sum() <= 0:
+        raise ValueError("fractions must sum to a positive value")
+    fraction_array = fraction_array / fraction_array.sum()
+    counts = rng.multinomial(total, fraction_array)
+    return tuple(int(c) for c in counts)

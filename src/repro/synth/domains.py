@@ -1,0 +1,240 @@
+"""Synthetic download-domain ecosystem (Tables III-V, XIII; Figures 3, 6).
+
+Domains are grouped into behavioural categories.  The mixed-reputation
+file-hosting services (softonic, mediafire, CDNs) serve benign, malicious
+*and* unknown files -- the overlap that Tables III/IV highlight --
+while fakeav social-engineering domains, streaming/adware domains and
+dedicated malware-distribution domains give each malicious type its
+distinctive hosting profile (Table V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..labeling.labels import FileLabel, MalwareType
+from ..telemetry.agent import DEFAULT_URL_WHITELIST
+from . import calibration
+from .distributions import CategoricalSampler
+from .entities import SyntheticDomain
+from .names import NameFactory
+
+#: Domain category identifiers.
+FILE_HOSTING = "file_hosting"
+BUNDLER = "bundler"
+STREAMING = "streaming"
+MALWARE_DIST = "malware_dist"
+FAKEAV_SOCIAL = "fakeav_social"
+CORPORATE = "corporate"
+PERSONAL = "personal"
+EXPLOIT = "exploit"
+UPDATE = "update"
+
+ALL_CATEGORIES = (
+    FILE_HOSTING, BUNDLER, STREAMING, MALWARE_DIST, FAKEAV_SOCIAL,
+    CORPORATE, PERSONAL, EXPLOIT, UPDATE,
+)
+
+#: (generated tail size at full scale, rank_prob, rank_low, rank_high).
+_CATEGORY_SHAPE: Dict[str, Tuple[int, float, int, int]] = {
+    FILE_HOSTING: (300, 0.95, 50, 20_000),
+    BUNDLER: (120, 0.35, 5_000, 200_000),
+    STREAMING: (60, 0.80, 10_000, 300_000),
+    MALWARE_DIST: (2_500, 0.10, 50_000, 1_000_000),
+    FAKEAV_SOCIAL: (250, 0.0, 0, 0),
+    CORPORATE: (28_000, 0.55, 1_000, 1_000_000),
+    PERSONAL: (52_000, 0.10, 100_000, 1_000_000),
+    EXPLOIT: (1_800, 0.0, 0, 0),
+    UPDATE: (0, 1.0, 1, 100),
+}
+
+#: URL reputation per category: (P(url benign), P(url malicious)).
+#: Calibrated so overall URL label fractions approach Table I's
+#: 29.8% benign / 15.1% malicious.
+_URL_REPUTATION: Dict[str, Tuple[float, float]] = {
+    FILE_HOSTING: (0.90, 0.0),
+    BUNDLER: (0.12, 0.10),
+    STREAMING: (0.15, 0.15),
+    MALWARE_DIST: (0.0, 0.55),
+    FAKEAV_SOCIAL: (0.0, 0.90),
+    CORPORATE: (0.70, 0.0),
+    PERSONAL: (0.30, 0.02),
+    EXPLOIT: (0.0, 0.45),
+    UPDATE: (1.0, 0.0),
+}
+
+
+class DomainEcosystem:
+    """Builds category domain pools and samples per download context."""
+
+    def __init__(
+        self, rng: np.random.Generator, names: NameFactory, scale: float
+    ) -> None:
+        self._rng = rng
+        self.domains_by_category: Dict[str, List[SyntheticDomain]] = {}
+        self._samplers: Dict[str, CategoricalSampler] = {}
+
+        seeded = {
+            FILE_HOSTING: calibration.SEED_FILE_HOSTING_DOMAINS,
+            BUNDLER: calibration.SEED_BUNDLER_DOMAINS,
+            STREAMING: calibration.SEED_STREAMING_DOMAINS,
+            MALWARE_DIST: calibration.SEED_MALWARE_DOMAINS,
+        }
+        for category in ALL_CATEGORIES:
+            seeds = seeded.get(category, ())
+            if category == FAKEAV_SOCIAL:
+                seeds = tuple(
+                    (name, 10.0) for name in calibration.SEED_FAKEAV_DOMAINS
+                )
+            if category == UPDATE:
+                seeds = tuple(
+                    (name, 1.0) for name in sorted(DEFAULT_URL_WHITELIST)
+                )
+            self.domains_by_category[category] = self._build_category(
+                category, seeds, names, scale
+            )
+            pool = self.domains_by_category[category]
+            self._samplers[category] = CategoricalSampler(
+                pool, [domain.popularity_weight for domain in pool]
+            )
+
+    def _build_category(
+        self,
+        category: str,
+        seeds: Tuple[Tuple[str, float], ...],
+        names: NameFactory,
+        scale: float,
+    ) -> List[SyntheticDomain]:
+        tail_size, rank_prob, rank_low, rank_high = _CATEGORY_SHAPE[category]
+        benign_prob, malicious_prob = _URL_REPUTATION[category]
+        pool: List[SyntheticDomain] = []
+
+        def make(name: str, weight: float, is_seed: bool) -> SyntheticDomain:
+            ranked = self._rng.random() < rank_prob
+            rank: Optional[int] = None
+            if ranked:
+                # Seeds (the paper's popular domains) sit near the top of
+                # their rank band; tail domains spread log-uniformly.
+                low = max(1, rank_low)
+                high = max(low + 1, rank_high)
+                if is_seed:
+                    high = max(low + 1, (low + high) // 10)
+                log_low, log_high = np.log(low), np.log(high)
+                rank = int(np.exp(self._rng.uniform(log_low, log_high)))
+            roll = self._rng.random()
+            url_benign = roll < benign_prob and rank is not None
+            url_malicious = (not url_benign) and roll < benign_prob + malicious_prob
+            return SyntheticDomain(
+                name=name,
+                category=category,
+                alexa_rank=rank,
+                popularity_weight=weight,
+                url_benign=url_benign,
+                url_malicious=url_malicious,
+            )
+
+        for name, weight in seeds:
+            pool.append(make(name, float(weight), is_seed=True))
+        tail_count = calibration.sublinear_scaled(tail_size, scale, minimum=0)
+        base_weight = min(
+            [weight for _, weight in seeds], default=100.0
+        )
+        for index in range(tail_count):
+            suffix = None
+            if category == FAKEAV_SOCIAL:
+                suffix = "in" if index % 2 else "pw"
+            weight = base_weight / (2.0 + index)
+            pool.append(make(names.domain_name(suffix), weight, is_seed=False))
+        return pool
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, category: str) -> SyntheticDomain:
+        """Draw a domain from one category by popularity weight."""
+        return self._samplers[category].sample(rng)
+
+    def sample_for_file(
+        self,
+        rng: np.random.Generator,
+        observed_class: FileLabel,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType],
+        exploit_context: bool = False,
+    ) -> SyntheticDomain:
+        """Draw a hosting domain appropriate for a file's nature.
+
+        ``exploit_context`` marks downloads initiated through exploited
+        Java/Acrobat/Windows processes, which come from dedicated exploit
+        infrastructure rather than software-download portals.
+        """
+        if exploit_context:
+            category = EXPLOIT if rng.random() < 0.8 else MALWARE_DIST
+            return self.sample(rng, category)
+        mix = _category_mix(observed_class, latent_malicious, latent_type)
+        categories, weights = zip(*mix.items())
+        threshold = rng.random() * sum(weights)
+        cumulative = 0.0
+        for category, weight in zip(categories, weights):
+            cumulative += weight
+            if threshold < cumulative:
+                return self.sample(rng, category)
+        return self.sample(rng, categories[-1])
+
+    def all_domains(self) -> List[SyntheticDomain]:
+        """Every domain in the ecosystem."""
+        return [
+            domain
+            for pool in self.domains_by_category.values()
+            for domain in pool
+        ]
+
+
+def _category_mix(
+    observed_class: FileLabel,
+    latent_malicious: bool,
+    latent_type: Optional[MalwareType],
+) -> Dict[str, float]:
+    """Hosting-category mixture for a file of the given nature.
+
+    Encodes the Table IV/V structure: file-hosting portals serve
+    everything; adware rides streaming services; fakeav uses its own
+    social-engineering domains; droppers and PUPs lean on portals and
+    bundler domains; exploit-class malware (bots, bankers, ransomware,
+    worms) is served from dedicated distribution infrastructure.
+    """
+    if observed_class.is_benign_side or (
+        observed_class == FileLabel.UNKNOWN and not latent_malicious
+    ):
+        if observed_class == FileLabel.UNKNOWN:
+            return {PERSONAL: 0.45, BUNDLER: 0.25, FILE_HOSTING: 0.22,
+                    CORPORATE: 0.08}
+        return {CORPORATE: 0.52, FILE_HOSTING: 0.40, PERSONAL: 0.08}
+
+    mtype = latent_type or MalwareType.UNDEFINED
+    if mtype == MalwareType.ADWARE:
+        mix = {STREAMING: 0.55, FILE_HOSTING: 0.20, BUNDLER: 0.25}
+    elif mtype == MalwareType.FAKEAV:
+        mix = {FAKEAV_SOCIAL: 0.80, MALWARE_DIST: 0.20}
+    elif mtype in (MalwareType.DROPPER, MalwareType.PUP):
+        mix = {FILE_HOSTING: 0.45, BUNDLER: 0.25, MALWARE_DIST: 0.30}
+    elif mtype in (
+        MalwareType.BOT,
+        MalwareType.BANKER,
+        MalwareType.RANSOMWARE,
+        MalwareType.WORM,
+        MalwareType.SPYWARE,
+    ):
+        mix = {MALWARE_DIST: 0.75, FILE_HOSTING: 0.20, PERSONAL: 0.05}
+    else:  # trojan / undefined
+        mix = {MALWARE_DIST: 0.40, FILE_HOSTING: 0.30, BUNDLER: 0.20,
+               PERSONAL: 0.10}
+    if observed_class == FileLabel.UNKNOWN:
+        # Latently malicious unknowns skew toward low-reputation hosting.
+        mix = dict(mix)
+        mix[PERSONAL] = mix.get(PERSONAL, 0.0) + 0.25
+        mix[BUNDLER] = mix.get(BUNDLER, 0.0) + 0.15
+    return mix

@@ -1,0 +1,282 @@
+"""File population: minting files and realizing the prevalence long tail.
+
+Files are created lazily while events are generated.  A
+:class:`FilePool` keeps, per (domain, nature) stratum, the set of *open*
+files -- files that have not yet reached their target prevalence.  Each
+draw either mints a new file (with probability ``1 / E[prevalence]`` for
+the stratum, which balances supply and demand) or revisits an open file.
+This realizes exactly the head+tail prevalence mixtures of
+:data:`repro.synth.calibration.PREVALENCE_MODELS` (Figure 2) while letting
+every file live on a single home domain (Tables IV/V).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..labeling.labels import FileLabel, MalwareType
+from . import calibration
+from .distributions import CategoricalSampler, PrevalenceModel
+from .entities import SyntheticDomain, SyntheticFile
+from .names import NameFactory
+from .packers import PackerEcosystem
+from .signers import SignerEcosystem
+
+
+class FamilyCatalog:
+    """Malware family names and their association with behaviour types.
+
+    Fig. 1 reports 363 distinct AVclass families with 58% of samples
+    unattributable.  Each family is bound to one primary type so per-type
+    family distributions are coherent.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, names: NameFactory, scale: float
+    ) -> None:
+        total = calibration.sublinear_scaled(
+            calibration.TOTAL_FAMILIES,
+            scale,
+            minimum=len(calibration.SEED_FAMILIES),
+        )
+        self.families: List[str] = list(calibration.SEED_FAMILIES)
+        while len(self.families) < total:
+            self.families.append(names.family_name())
+        type_sampler = CategoricalSampler(
+            list(calibration.TYPE_MIX.keys()),
+            list(calibration.TYPE_MIX.values()),
+        )
+        self.type_of: Dict[str, MalwareType] = {}
+        per_type: Dict[MalwareType, List[str]] = {t: [] for t in MalwareType}
+        for family in self.families:
+            mtype = type_sampler.sample(rng)
+            if mtype == MalwareType.UNDEFINED:
+                mtype = MalwareType.TROJAN  # undefined samples carry no family
+            self.type_of[family] = mtype
+            per_type[mtype].append(family)
+        # Ensure every concrete type has at least one family to draw from.
+        fallback = self.families[0]
+        self._samplers: Dict[MalwareType, CategoricalSampler] = {}
+        for mtype, pool in per_type.items():
+            if mtype == MalwareType.UNDEFINED:
+                continue
+            self._samplers[mtype] = CategoricalSampler.zipf(pool or [fallback], 1.1)
+
+    def sample(
+        self, rng: np.random.Generator, mtype: MalwareType
+    ) -> Optional[str]:
+        """Draw a family for a malicious file of ``mtype``.
+
+        Returns ``None`` for the ~58% of samples whose AV labels carry no
+        family token, and always for ``UNDEFINED``-type files.
+        """
+        if mtype == MalwareType.UNDEFINED:
+            return None
+        if rng.random() < calibration.FAMILY_UNLABELED_FRACTION:
+            return None
+        return self._samplers[mtype].sample(rng)
+
+
+#: Log-normal size parameters (median bytes, sigma) per broad nature.
+_SIZE_PARAMS = {
+    "benign": (4_000_000, 1.2),
+    "malicious": (600_000, 1.0),
+    "unknown": (1_200_000, 1.3),
+}
+
+
+class FileFactory:
+    """Mints :class:`SyntheticFile` objects with calibrated attributes."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        names: NameFactory,
+        signers: SignerEcosystem,
+        packers: PackerEcosystem,
+        families: FamilyCatalog,
+    ) -> None:
+        self._rng = rng
+        self._names = names
+        self._signers = signers
+        self._packers = packers
+        self._families = families
+
+    def mint(
+        self,
+        observed_class: FileLabel,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType],
+        domain: SyntheticDomain,
+        via_browser: bool,
+        target_prevalence: int,
+    ) -> SyntheticFile:
+        """Create one new file of the given nature hosted on ``domain``."""
+        rng = self._rng
+        file_name = self._names.file_name()
+        signer, ca = self._sample_signature(
+            observed_class, latent_malicious, latent_type, via_browser
+        )
+        packer = self._packers.sample(
+            rng, observed_class, latent_malicious, latent_type
+        )
+        family = None
+        if latent_malicious and latent_type is not None:
+            family = self._families.sample(rng, latent_type)
+        size = self._sample_size(observed_class)
+        return SyntheticFile(
+            sha1=self._names.sha1(),
+            file_name=file_name,
+            size_bytes=size,
+            observed_class=observed_class,
+            latent_malicious=latent_malicious,
+            latent_type=latent_type,
+            family=family,
+            signer=signer,
+            ca=ca,
+            packer=packer,
+            home_domain=domain.name,
+            url=self._names.url(domain.name, file_name),
+            via_browser=via_browser,
+            target_prevalence=target_prevalence,
+        )
+
+    def _sample_signature(
+        self,
+        observed_class: FileLabel,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType],
+        via_browser: bool,
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Decide whether the file is signed and by whom (Table VI)."""
+        rng = self._rng
+        if observed_class == FileLabel.UNKNOWN:
+            # Table VI's unknown signing rate is already the average over
+            # whatever the unknowns latently are.
+            rate = calibration.UNKNOWN_SIGNING_RATE
+        elif latent_malicious and latent_type is not None:
+            rate = calibration.SIGNING_RATES[latent_type]
+        else:
+            rate = calibration.BENIGN_SIGNING_RATE
+        signed_prob = rate.from_browsers if via_browser else self._off_browser(rate)
+        if rng.random() >= signed_prob:
+            return None, None
+        if observed_class == FileLabel.UNKNOWN:
+            return self._signers.sample_unknown(rng, latent_malicious, latent_type)
+        if latent_malicious and latent_type is not None:
+            return self._signers.sample_malicious(rng, latent_type)
+        return self._signers.sample_benign(rng)
+
+    @staticmethod
+    def _off_browser(rate: calibration.SigningRate) -> float:
+        """Signing rate for non-browser deliveries.
+
+        Table VI reports the overall rate and the (higher) from-browser
+        rate; the off-browser rate is whatever keeps the overall rate
+        consistent under a roughly 70/30 browser/other delivery split.
+        """
+        off = (rate.overall - 0.7 * rate.from_browsers) / 0.3
+        return min(1.0, max(0.0, off))
+
+    def _sample_size(self, observed_class: FileLabel) -> int:
+        if observed_class.is_malicious_side:
+            median, sigma = _SIZE_PARAMS["malicious"]
+        elif observed_class.is_benign_side:
+            median, sigma = _SIZE_PARAMS["benign"]
+        else:
+            median, sigma = _SIZE_PARAMS["unknown"]
+        size = float(np.exp(self._rng.normal(np.log(median), sigma)))
+        return max(10_000, int(size))
+
+
+#: Prevalence model for exploit-served payloads: the same kit payload hits
+#: many victim machines (Table X shows ~4 machines per file for Java).
+EXPLOIT_PREVALENCE_MODEL = PrevalenceModel(0.45, 1.9, 60)
+
+
+class FilePool:
+    """Realizes file draws against per-stratum prevalence targets.
+
+    Pools are keyed by *stratum* -- (label class, latent nature, type,
+    exploit-served?) -- not by domain: each file is bound to the home
+    domain chosen when it is minted, and repeat downloads of a popular
+    file naturally come from its home URL.  Each draw either mints a new
+    file (probability ``1 / E[target prevalence]``, which balances supply
+    and demand) or revisits an *open* file that has not yet reached its
+    prevalence target.
+    """
+
+    def __init__(self, factory: FileFactory) -> None:
+        self._factory = factory
+        self._open: Dict[tuple, List[SyntheticFile]] = {}
+        self.all_files: Dict[str, SyntheticFile] = {}
+        self._mint_prob = {
+            label: 1.0 / model.mean
+            for label, model in calibration.PREVALENCE_MODELS.items()
+        }
+        self._exploit_mint_prob = 1.0 / EXPLOIT_PREVALENCE_MODEL.mean
+
+    def __len__(self) -> int:
+        return len(self.all_files)
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        observed_class: FileLabel,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType],
+        domain_sampler: Callable[[], SyntheticDomain],
+        via_browser: bool,
+        channel: str = "web",
+    ) -> SyntheticFile:
+        """Return the file downloaded by one event of this stratum.
+
+        ``domain_sampler`` is invoked only when a new file is minted; the
+        chosen domain becomes the file's permanent home.  ``channel``
+        separates ordinary web downloads from exploit-kit payloads (which
+        follow the fatter :data:`EXPLOIT_PREVALENCE_MODEL`) and from
+        whitelisted software updates (so update files never leak into the
+        reusable web pools).
+        """
+        if channel not in ("web", "exploit", "update"):
+            raise ValueError(f"unknown channel {channel!r}")
+        key = (observed_class, latent_malicious, latent_type, channel)
+        open_files = self._open.setdefault(key, [])
+        mint_prob = (
+            self._exploit_mint_prob if channel != "web"
+            else self._mint_prob[observed_class]
+        )
+        if open_files and rng.random() >= mint_prob:
+            # Power-of-three-choices, biased toward the file with the most
+            # remaining capacity: large prevalence targets fill up even in
+            # small worlds instead of being censored at simulation end.
+            index = int(rng.integers(0, len(open_files)))
+            for _ in range(2):
+                other = int(rng.integers(0, len(open_files)))
+                if open_files[other].open_capacity > open_files[index].open_capacity:
+                    index = other
+            chosen = open_files[index]
+            chosen.realized_prevalence += 1
+            if chosen.open_capacity <= 0:
+                open_files[index] = open_files[-1]
+                open_files.pop()
+            return chosen
+        model = (
+            EXPLOIT_PREVALENCE_MODEL if channel != "web"
+            else calibration.PREVALENCE_MODELS[observed_class]
+        )
+        minted = self._factory.mint(
+            observed_class,
+            latent_malicious,
+            latent_type,
+            domain_sampler(),
+            via_browser,
+            target_prevalence=model.sample(rng),
+        )
+        minted.realized_prevalence = 1
+        self.all_files[minted.sha1] = minted
+        if minted.open_capacity > 0:
+            open_files.append(minted)
+        return minted

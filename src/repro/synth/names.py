@@ -1,0 +1,132 @@
+"""Deterministic name and identifier generators for synthetic entities.
+
+All generators take an explicit :class:`numpy.random.Generator` so the
+world builder fully controls reproducibility.  Names are built from small
+syllable/word tables; they only need to *look* plausible and be unique,
+not to be linguistically interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+import numpy as np
+
+_SYLLABLES = (
+    "ba", "co", "da", "el", "fi", "go", "ha", "in", "jo", "ka", "lu", "me",
+    "no", "op", "pa", "qu", "ra", "so", "ta", "ul", "vi", "wa", "xo", "ya",
+    "ze", "br", "cl", "dr", "st", "tr",
+)
+
+_COMPANY_WORDS = (
+    "Soft", "Media", "App", "Net", "Data", "Cloud", "Digital", "Micro",
+    "Global", "Prime", "Nova", "Vertex", "Pixel", "Quantum", "Stellar",
+    "Rapid", "Secure", "Smart", "Bright", "Core", "Alpha", "Delta", "Omni",
+    "Blue", "Silver", "Crystal", "Dyna", "Tech", "Info", "Inter",
+)
+
+_COMPANY_SUFFIXES = (
+    "Ltd.", "Inc.", "LLC", "GmbH", "S.L.", "Corp.", "Software", "Systems",
+    "Technologies", "Solutions", "Labs", "Group", "Studio", "Media",
+    "Networks", "Apps",
+)
+
+_FILE_WORDS = (
+    "setup", "install", "update", "player", "codec", "toolbar", "manager",
+    "converter", "downloader", "viewer", "cleaner", "optimizer", "driver",
+    "helper", "assistant", "bundle", "pack", "game", "screensaver", "widget",
+)
+
+_TLDS = ("com", "net", "org", "info", "biz", "ru", "in", "pw", "nl", "br")
+
+
+def _pick(rng: np.random.Generator, items) -> str:
+    return items[int(rng.integers(0, len(items)))]
+
+
+class NameFactory:
+    """Generates unique hashes, domain names, signer names, etc.
+
+    Uniqueness is enforced per kind with in-memory seen-sets; at the
+    scales this library runs (millions of hashes, thousands of names)
+    collisions are rare and retried.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._hash_counter = 0
+        self._seen_domains: Set[str] = set()
+        self._seen_companies: Set[str] = set()
+        self._seen_families: Set[str] = set()
+
+    def sha1(self) -> str:
+        """A unique 40-hex-digit identifier.
+
+        A counter is mixed with random bits: uniqueness is then structural
+        rather than probabilistic, which keeps large worlds collision-free
+        without a seen-set of millions of entries.
+        """
+        self._hash_counter += 1
+        random_part = self._rng.integers(0, 2**63, dtype=np.int64)
+        return f"{self._hash_counter:016x}{int(random_part):016x}"[:32].ljust(
+            40, "0"
+        )
+
+    def machine_id(self, index: int) -> str:
+        """Anonymized global unique machine ID."""
+        return f"M{index:08d}"
+
+    def domain_name(self, suffix_hint: Optional[str] = None) -> str:
+        """A unique plausible domain name like ``lumeraso.net``."""
+        for _ in range(100):
+            syllable_count = int(self._rng.integers(3, 6))
+            stem = "".join(
+                _pick(self._rng, _SYLLABLES) for _ in range(syllable_count)
+            )
+            tld = suffix_hint or _pick(self._rng, _TLDS)
+            name = f"{stem}.{tld}"
+            if name not in self._seen_domains:
+                self._seen_domains.add(name)
+                return name
+        raise RuntimeError("domain name space exhausted")
+
+    def company_name(self) -> str:
+        """A unique plausible software-company name."""
+        for _ in range(100):
+            first = _pick(self._rng, _COMPANY_WORDS)
+            second = _pick(self._rng, _COMPANY_WORDS)
+            suffix = _pick(self._rng, _COMPANY_SUFFIXES)
+            name = f"{first}{second.lower()} {suffix}"
+            if name not in self._seen_companies:
+                self._seen_companies.add(name)
+                return name
+        raise RuntimeError("company name space exhausted")
+
+    def family_name(self) -> str:
+        """A unique lowercase malware family name."""
+        for _ in range(100):
+            syllable_count = int(self._rng.integers(2, 4))
+            name = "".join(
+                _pick(self._rng, _SYLLABLES) for _ in range(syllable_count)
+            )
+            if name not in self._seen_families and len(name) >= 4:
+                self._seen_families.add(name)
+                return name
+        raise RuntimeError("family name space exhausted")
+
+    def file_name(self) -> str:
+        """A plausible downloaded-executable name (not necessarily unique)."""
+        word = _pick(self._rng, _FILE_WORDS)
+        if self._rng.random() < 0.5:
+            return f"{word}_{int(self._rng.integers(1, 999))}.exe"
+        second = _pick(self._rng, _FILE_WORDS)
+        return f"{word}-{second}.exe"
+
+    def url(self, domain: str, file_name: str) -> str:
+        """A download URL on ``domain`` for ``file_name``."""
+        depth = int(self._rng.integers(1, 3))
+        path = "/".join(
+            _pick(self._rng, _FILE_WORDS) for _ in range(depth)
+        )
+        token = int(self._rng.integers(10**5, 10**7))
+        return f"http://dl.{domain}/{path}/{token}/{file_name}"

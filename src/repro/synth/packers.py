@@ -1,0 +1,101 @@
+"""Synthetic packer ecosystem (Section IV-C).
+
+The paper observes 69 distinct packers, 35 of which are used on both
+benign and malicious files (INNO, UPX, AutoIt, NSIS, ...); a handful
+(Molebox, NSPack, Themida, ...) are exclusive to malware.  Benign and
+malicious files are packed at nearly the same rate (54% vs 58%).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..labeling.labels import FileLabel, MalwareType
+from . import calibration
+from .distributions import CategoricalSampler
+from .names import NameFactory
+
+#: Probability that a packed malicious file uses a shared packer; the
+#: remainder use malicious-exclusive packers.  Most mass is shared -- the
+#: paper notes packers are not a discriminating factor on their own.
+_MALICIOUS_SHARED_PROB = 0.80
+
+#: Probability that a packed benign file uses a shared packer.
+_BENIGN_SHARED_PROB = 0.85
+
+
+def _generated_pool(
+    names: NameFactory, seeds: Tuple[str, ...], total: int
+) -> List[str]:
+    pool = list(seeds)
+    index = 0
+    while len(pool) < total:
+        index += 1
+        pool.append(f"{seeds[index % len(seeds)] if seeds else 'Pak'}X{index}")
+    return pool
+
+
+class PackerEcosystem:
+    """Samples packers per file nature, honouring the shared/exclusive split."""
+
+    def __init__(self, names: NameFactory) -> None:
+        shared_total = calibration.SHARED_PACKERS_COUNT
+        exclusive_total = calibration.TOTAL_PACKERS - shared_total
+        malicious_total = max(
+            len(calibration.SEED_MALICIOUS_PACKERS), exclusive_total // 2
+        )
+        benign_total = exclusive_total - malicious_total
+
+        self.shared = _generated_pool(
+            names, calibration.SEED_SHARED_PACKERS, shared_total
+        )
+        self.malicious_exclusive = _generated_pool(
+            names, calibration.SEED_MALICIOUS_PACKERS, malicious_total
+        )
+        self.benign_exclusive = _generated_pool(names, (), max(1, benign_total))
+
+        self._shared_sampler = CategoricalSampler.zipf(self.shared, 1.0)
+        self._malicious_sampler = CategoricalSampler.zipf(
+            self.malicious_exclusive, 1.0
+        )
+        self._benign_sampler = CategoricalSampler.zipf(self.benign_exclusive, 1.0)
+
+    @property
+    def all_packers(self) -> List[str]:
+        """Every packer name in the ecosystem."""
+        return self.shared + self.malicious_exclusive + self.benign_exclusive
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        observed_class: FileLabel,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType] = None,
+    ) -> Optional[str]:
+        """Draw a packer name, or ``None`` when the file is not packed.
+
+        ``latent_type`` is accepted for interface symmetry with the signer
+        ecosystem; the paper found no per-type packer signal (Section
+        IV-C), so it is deliberately unused.
+        """
+        del latent_type
+        packed_rate = self._packed_rate(observed_class)
+        if rng.random() >= packed_rate:
+            return None
+        if latent_malicious:
+            if rng.random() < _MALICIOUS_SHARED_PROB:
+                return self._shared_sampler.sample(rng)
+            return self._malicious_sampler.sample(rng)
+        if rng.random() < _BENIGN_SHARED_PROB:
+            return self._shared_sampler.sample(rng)
+        return self._benign_sampler.sample(rng)
+
+    @staticmethod
+    def _packed_rate(observed_class: FileLabel) -> float:
+        if observed_class.is_malicious_side:
+            return calibration.MALICIOUS_PACKED_RATE
+        if observed_class.is_benign_side:
+            return calibration.BENIGN_PACKED_RATE
+        return calibration.UNKNOWN_PACKED_RATE

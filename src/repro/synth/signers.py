@@ -1,0 +1,168 @@
+"""Synthetic code-signing ecosystem (Tables VI--IX, Figure 4).
+
+Builds three signer pools -- benign-exclusive, malicious-exclusive and
+shared -- seeded with the signer names published in the paper and topped
+up with generated company names to reach the (scaled) Table VII counts.
+Each malicious type gets its own Zipf-weighted signer sampler whose head
+contains that type's published top signers, so the per-type signer tables
+reproduce naturally.
+
+Unknown files draw from the same pools (plus a *neutral* pool no labeled
+file uses) according to their latent nature; this is what lets the
+Section VI rules generalize from labeled files to unknowns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..labeling.labels import MalwareType
+from . import calibration
+from .distributions import CategoricalSampler, zipf_weights
+from .names import NameFactory
+
+#: Fraction of a type's signer draws that come from the shared pool; the
+#: rest come from the type's exclusive list.  Tuned so Table VII's
+#: common-with-benign ratios are in range.
+_SHARED_DRAW_PROB = 0.12
+
+#: For signed unknown files: probability of drawing from the pools labeled
+#: files use (making the file rule-matchable) vs. the neutral pool.
+_UNKNOWN_INFORMATIVE_PROB = 0.55
+
+
+class SignerEcosystem:
+    """Pools and samplers for file/process signers and their CAs."""
+
+    def __init__(
+        self, rng: np.random.Generator, names: NameFactory, scale: float
+    ) -> None:
+        self._rng = rng
+        exclusive_malicious_total = calibration.sublinear_scaled(
+            calibration.TOTAL_MALICIOUS_SIGNERS - calibration.TOTAL_SHARED_SIGNERS,
+            scale,
+            minimum=len(calibration.SEED_MALICIOUS_SIGNERS),
+        )
+        shared_total = calibration.sublinear_scaled(
+            calibration.TOTAL_SHARED_SIGNERS,
+            scale,
+            minimum=len(calibration.SEED_SHARED_SIGNERS),
+        )
+        benign_total = calibration.sublinear_scaled(
+            1_500, scale, minimum=len(calibration.SEED_BENIGN_SIGNERS)
+        )
+        neutral_total = calibration.sublinear_scaled(2_500, scale, minimum=40)
+
+        self.malicious_exclusive = self._pool(
+            names, calibration.SEED_MALICIOUS_SIGNERS, exclusive_malicious_total
+        )
+        self.shared = self._pool(
+            names, calibration.SEED_SHARED_SIGNERS, shared_total
+        )
+        self.benign_exclusive = self._pool(
+            names, calibration.SEED_BENIGN_SIGNERS, benign_total
+        )
+        self.neutral = self._pool(names, (), neutral_total)
+
+        self._ca_of: Dict[str, str] = {}
+        ca_sampler = CategoricalSampler.zipf(list(calibration.SEED_CAS), 0.8)
+        for pool in (
+            self.malicious_exclusive,
+            self.shared,
+            self.benign_exclusive,
+            self.neutral,
+        ):
+            for signer in pool:
+                self._ca_of[signer] = ca_sampler.sample(rng)
+
+        self._benign_sampler = CategoricalSampler.zipf(
+            self.benign_exclusive + self.shared, 0.9
+        )
+        self._neutral_sampler = CategoricalSampler.zipf(self.neutral, 0.8)
+        self._type_samplers = self._build_type_samplers(scale)
+
+    @staticmethod
+    def _pool(names: NameFactory, seeds: Tuple[str, ...], total: int) -> List[str]:
+        pool = list(seeds)
+        while len(pool) < total:
+            pool.append(names.company_name())
+        return pool
+
+    def _build_type_samplers(
+        self, scale: float
+    ) -> Dict[MalwareType, CategoricalSampler]:
+        """One Zipf sampler per malicious type, scaled from Table VII."""
+        samplers: Dict[MalwareType, CategoricalSampler] = {}
+        cursor = 0
+        for mtype, (total_signers, common) in calibration.SIGNER_COUNTS.items():
+            exclusive_count = calibration.sublinear_scaled(
+                total_signers - common, scale, minimum=3
+            )
+            shared_count = calibration.sublinear_scaled(common, scale, minimum=1)
+            seeds = list(calibration.TYPE_SEED_SIGNERS.get(mtype, ()))
+            type_pool = list(seeds)
+            # Walk a moving window over the global exclusive pool so types
+            # mostly do not share exclusive signers (matching Table VIII).
+            while len(type_pool) < exclusive_count:
+                candidate = self.malicious_exclusive[
+                    cursor % len(self.malicious_exclusive)
+                ]
+                cursor += 1
+                if candidate not in type_pool:
+                    type_pool.append(candidate)
+            shared_start = int(self._rng.integers(0, len(self.shared)))
+            shared_slice = [
+                self.shared[(shared_start + i) % len(self.shared)]
+                for i in range(shared_count)
+            ]
+            # Exclusive pool gets (1 - _SHARED_DRAW_PROB) of the mass with
+            # a Zipf head (the published top signers), shared pool the rest.
+            items = type_pool + shared_slice
+            head = zipf_weights(len(type_pool), 1.1) * (1.0 - _SHARED_DRAW_PROB)
+            tail = (
+                np.ones(len(shared_slice)) / max(1, len(shared_slice))
+            ) * _SHARED_DRAW_PROB
+            samplers[mtype] = CategoricalSampler(items, list(head) + list(tail))
+        return samplers
+
+    # ------------------------------------------------------------------
+    # Sampling API
+    # ------------------------------------------------------------------
+
+    def ca_of(self, signer: str) -> str:
+        """The certification authority associated with a signer."""
+        return self._ca_of[signer]
+
+    def sample_malicious(
+        self, rng: np.random.Generator, mtype: MalwareType
+    ) -> Tuple[str, str]:
+        """Draw (signer, ca) for a signed malicious file of ``mtype``."""
+        signer = self._type_samplers[mtype].sample(rng)
+        return signer, self._ca_of[signer]
+
+    def sample_benign(self, rng: np.random.Generator) -> Tuple[str, str]:
+        """Draw (signer, ca) for a signed benign file."""
+        signer = self._benign_sampler.sample(rng)
+        return signer, self._ca_of[signer]
+
+    def sample_unknown(
+        self,
+        rng: np.random.Generator,
+        latent_malicious: bool,
+        latent_type: Optional[MalwareType],
+    ) -> Tuple[str, str]:
+        """Draw (signer, ca) for a signed *unknown* file.
+
+        With probability ``_UNKNOWN_INFORMATIVE_PROB`` the signer comes
+        from the pools labeled files use (so learned rules can match);
+        otherwise from the neutral pool, keeping a large genuinely
+        unmatchable mass (the paper labels only ~28% of unknowns).
+        """
+        if rng.random() < _UNKNOWN_INFORMATIVE_PROB:
+            if latent_malicious and latent_type is not None:
+                return self.sample_malicious(rng, latent_type)
+            return self.sample_benign(rng)
+        signer = self._neutral_sampler.sample(rng)
+        return signer, self._ca_of[signer]

@@ -1,0 +1,86 @@
+"""The monitoring software agent (SA) and its reporting filters.
+
+Section II-A: each customer machine runs a software agent that observes
+*all* web-based download events but reports only events of interest to the
+central collection server.  The filters are:
+
+1. the downloaded file was **executed** on the machine;
+2. the file's current prevalence (distinct downloading machines so far,
+   as known centrally) is below a threshold ``sigma`` (20 in the paper);
+3. the download URL is not on the vendor's URL whitelist (e.g. software
+   updates from major vendors).
+
+The agent owns filters 1 and 3, which need only local knowledge; the
+prevalence filter 2 requires the global machine count and therefore lives
+in the collection server (:mod:`repro.telemetry.collector`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Optional
+
+from .events import DownloadEvent, effective_2ld
+
+#: Default reporting prevalence threshold used during the paper's
+#: collection period.
+DEFAULT_SIGMA = 20
+
+#: Whitelisted update domains (e2LDs) whose downloads are never reported.
+#: Section II-A gives "software updates from Microsoft or other major
+#: software vendors" as the example.
+DEFAULT_URL_WHITELIST: FrozenSet[str] = frozenset(
+    {
+        "microsoft.com",
+        "windowsupdate.com",
+        "apple.com",
+        "adobe.com",
+        "mozilla.org",
+        "google.com",
+        "oracle.com",
+        "java.com",
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportingPolicy:
+    """Configuration of the agent/collector reporting filters."""
+
+    sigma: int = DEFAULT_SIGMA
+    url_whitelist: FrozenSet[str] = DEFAULT_URL_WHITELIST
+    require_executed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma < 1:
+            raise ValueError(f"sigma must be >= 1, got {self.sigma}")
+
+
+class SoftwareAgent:
+    """Per-machine monitoring agent applying the local reporting filters.
+
+    The agent is deliberately stateless across events: both of its filters
+    (executed-only and URL whitelist) depend only on the event itself.
+    Keeping it as an object still pays off -- the collection server holds
+    one agent per policy and the tests can exercise the filters in
+    isolation.
+    """
+
+    def __init__(self, policy: Optional[ReportingPolicy] = None) -> None:
+        self.policy = policy or ReportingPolicy()
+
+    def should_report(self, event: DownloadEvent) -> bool:
+        """Whether this event passes the agent-side filters."""
+        return self.filter_reason(event) is None
+
+    def filter_reason(self, event: DownloadEvent) -> Optional[str]:
+        """Why the event is dropped, or ``None`` if it passes.
+
+        Reasons are stable strings (``"not_executed"``,
+        ``"whitelisted_url"``) used by the collector's filter statistics.
+        """
+        if self.policy.require_executed and not event.executed:
+            return "not_executed"
+        if effective_2ld(event.domain) in self.policy.url_whitelist:
+            return "whitelisted_url"
+        return None

@@ -1,0 +1,127 @@
+"""The central collection server (CS).
+
+Receives candidate events from software agents in timestamp order,
+enforces the global prevalence threshold ``sigma`` (Section II-A), and
+materializes the resulting :class:`~repro.telemetry.dataset.TelemetryDataset`.
+
+The prevalence filter works exactly as described in the paper: a download
+of file ``f`` by machine ``m`` at time ``t`` is reported only if the number
+of *distinct machines* that downloaded ``f`` before ``t`` is less than
+``sigma``.  A machine that already counts toward ``f``'s prevalence may
+report repeat downloads without increasing the count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from .agent import ReportingPolicy, SoftwareAgent
+from .dataset import TelemetryDataset
+from .events import DownloadEvent, FileRecord, ProcessRecord
+
+
+@dataclasses.dataclass
+class FilterStats:
+    """Counts of raw events accepted/dropped per reporting filter."""
+
+    observed: int = 0
+    reported: int = 0
+    not_executed: int = 0
+    whitelisted_url: int = 0
+    over_sigma: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total raw events that were not reported."""
+        return self.not_executed + self.whitelisted_url + self.over_sigma
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view, convenient for reporting and assertions."""
+        return dataclasses.asdict(self)
+
+
+class CollectionServer:
+    """Aggregates agent reports into a telemetry dataset.
+
+    Parameters
+    ----------
+    policy:
+        Reporting policy shared by server and agents; defaults match the
+        paper's collection configuration (``sigma=20``).
+    """
+
+    def __init__(self, policy: Optional[ReportingPolicy] = None) -> None:
+        self.policy = policy or ReportingPolicy()
+        self._agent = SoftwareAgent(self.policy)
+        self._machines_per_file: Dict[str, Set[str]] = {}
+        self._reported: List[DownloadEvent] = []
+        self.stats = FilterStats()
+        self._last_timestamp = float("-inf")
+
+    def submit(self, event: DownloadEvent) -> bool:
+        """Process one raw event; returns whether it was reported.
+
+        Events must be submitted in non-decreasing timestamp order, since
+        the prevalence filter is defined over "machines that downloaded
+        before time t".
+        """
+        if event.timestamp < self._last_timestamp:
+            raise ValueError(
+                "events must be submitted in timestamp order "
+                f"({event.timestamp} after {self._last_timestamp})"
+            )
+        self._last_timestamp = event.timestamp
+        self.stats.observed += 1
+
+        reason = self._agent.filter_reason(event)
+        if reason is not None:
+            if reason == "not_executed":
+                self.stats.not_executed += 1
+            else:
+                self.stats.whitelisted_url += 1
+            return False
+
+        machines = self._machines_per_file.setdefault(event.file_sha1, set())
+        if event.machine_id not in machines and len(machines) >= self.policy.sigma:
+            self.stats.over_sigma += 1
+            return False
+        machines.add(event.machine_id)
+        self._reported.append(event)
+        self.stats.reported += 1
+        return True
+
+    def dataset(
+        self,
+        files: Mapping[str, FileRecord],
+        processes: Mapping[str, ProcessRecord],
+    ) -> TelemetryDataset:
+        """Materialize the dataset of reported events.
+
+        Metadata tables may be supersets; they are narrowed to the hashes
+        actually reported.
+        """
+        file_shas = {event.file_sha1 for event in self._reported}
+        proc_shas = {event.process_sha1 for event in self._reported}
+        return TelemetryDataset(
+            list(self._reported),
+            {sha: files[sha] for sha in file_shas},
+            {sha: processes[sha] for sha in proc_shas},
+        )
+
+
+def collect(
+    raw_events: Iterable[DownloadEvent],
+    files: Mapping[str, FileRecord],
+    processes: Mapping[str, ProcessRecord],
+    policy: Optional[ReportingPolicy] = None,
+):
+    """One-call pipeline: raw events -> (dataset, filter stats).
+
+    ``raw_events`` must be iterable in timestamp order (the simulator
+    guarantees this).
+    """
+    server = CollectionServer(policy)
+    for event in raw_events:
+        server.submit(event)
+    return server.dataset(files, processes), server.stats

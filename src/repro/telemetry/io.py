@@ -1,0 +1,75 @@
+"""Dataset serialization: JSON-lines export/import.
+
+A generated (or real) telemetry corpus can be persisted and reloaded so
+analyses do not need to regenerate worlds, and so external tooling can
+consume the data.  The format is three JSONL files inside a directory:
+
+* ``events.jsonl``    -- one download event per line;
+* ``files.jsonl``     -- the file metadata table;
+* ``processes.jsonl`` -- the process metadata table.
+
+JSONL keeps the format line-streamable and diff-friendly; all fields are
+plain JSON scalars.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .dataset import TelemetryDataset
+from .events import DownloadEvent, FileRecord, ProcessRecord
+
+_EVENTS_FILE = "events.jsonl"
+_FILES_FILE = "files.jsonl"
+_PROCESSES_FILE = "processes.jsonl"
+
+
+def save_dataset(dataset: TelemetryDataset, directory: Union[str, Path]) -> Path:
+    """Write a dataset to ``directory`` (created if missing).
+
+    Returns the directory path.  Existing exports in the directory are
+    overwritten.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / _EVENTS_FILE, "w", encoding="utf-8") as handle:
+        for event in dataset.events:
+            handle.write(json.dumps(dataclasses.asdict(event)) + "\n")
+    with open(path / _FILES_FILE, "w", encoding="utf-8") as handle:
+        for record in dataset.files.values():
+            handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
+    with open(path / _PROCESSES_FILE, "w", encoding="utf-8") as handle:
+        for record in dataset.processes.values():
+            handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
+    return path
+
+
+def load_dataset(directory: Union[str, Path]) -> TelemetryDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`FileNotFoundError` when any of the three JSONL files
+    is missing, and :class:`ValueError` on malformed rows (propagated
+    from the dataclass constructors / dataset validation).
+    """
+    path = Path(directory)
+    events = []
+    with open(path / _EVENTS_FILE, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                events.append(DownloadEvent(**json.loads(line)))
+    files: Dict[str, FileRecord] = {}
+    with open(path / _FILES_FILE, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                record = FileRecord(**json.loads(line))
+                files[record.sha1] = record
+    processes: Dict[str, ProcessRecord] = {}
+    with open(path / _PROCESSES_FILE, encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                record = ProcessRecord(**json.loads(line))
+                processes[record.sha1] = record
+    return TelemetryDataset(events, files, processes)

@@ -1,0 +1,62 @@
+"""Tests for the Figure 1 / Table II family and type breakdowns."""
+
+import pytest
+
+from repro.analysis.families import (
+    TYPE_DESCRIPTIONS,
+    family_distribution,
+    type_breakdown,
+)
+from repro.labeling.labels import MalwareType
+
+
+class TestFamilyDistribution:
+    @pytest.fixture(scope="class")
+    def distribution(self, medium_session):
+        return family_distribution(medium_session.labeled)
+
+    def test_top25_sorted(self, distribution):
+        counts = [count for _, count in distribution.top_families]
+        assert counts == sorted(counts, reverse=True)
+        assert len(distribution.top_families) <= 25
+
+    def test_unlabeled_fraction_near_paper(self, distribution):
+        # Paper: AVclass derives no family for ~58% of samples.
+        assert 0.45 <= distribution.unlabeled_fraction <= 0.70
+
+    def test_sample_accounting(self, distribution, medium_session):
+        total = distribution.labeled_samples + distribution.unlabeled_samples
+        assert total == len(medium_session.labeled.file_families)
+
+    def test_multiple_families_observed(self, distribution):
+        assert distribution.total_families >= 10
+
+
+class TestTypeBreakdown:
+    @pytest.fixture(scope="class")
+    def rows(self, medium_session):
+        return type_breakdown(medium_session.labeled)
+
+    def test_descriptions_cover_every_type(self):
+        assert set(TYPE_DESCRIPTIONS) == set(MalwareType)
+
+    def test_percentages_sum_to_100(self, rows):
+        assert sum(row.pct for row in rows) == pytest.approx(100.0)
+
+    def test_sorted_by_count(self, rows):
+        counts = [row.count for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_paper_ordering_of_major_types(self, rows):
+        by_type = {row.mtype: row.pct for row in rows}
+        # Table II: undefined and dropper/pup/adware dominate; rare
+        # classes (worm, spyware) stay tiny.
+        assert by_type[MalwareType.UNDEFINED] > 15
+        assert by_type[MalwareType.DROPPER] > by_type[MalwareType.BANKER]
+        assert by_type[MalwareType.WORM] < 5
+        assert by_type[MalwareType.SPYWARE] < 5
+
+    def test_counts_match_file_types(self, rows, medium_session):
+        assert sum(row.count for row in rows) == len(
+            medium_session.labeled.file_types
+        )

@@ -1,0 +1,42 @@
+"""Tests for the Section IV-C packer analysis."""
+
+import pytest
+
+from repro.analysis.packers import packer_report
+
+
+@pytest.fixture(scope="module")
+def report(medium_session):
+    return packer_report(medium_session.labeled)
+
+
+class TestPackerReport:
+    def test_benign_and_malicious_packed_similarly(self, report):
+        # Paper: 54% vs 58% -- near parity.
+        assert abs(report.benign_packed_pct - report.malicious_packed_pct) < 15
+
+    def test_packed_rates_near_paper(self, report):
+        assert 40 <= report.benign_packed_pct <= 68
+        assert 45 <= report.malicious_packed_pct <= 70
+
+    def test_shared_packers_substantial(self, report):
+        # Paper: 35 of 69 packers are used by both populations.
+        assert len(report.shared_packers) >= 10
+
+    def test_known_shared_packers_present(self, report):
+        assert report.shared_packers & {"INNO", "UPX", "NSIS", "AutoIt"}
+
+    def test_malicious_only_packers_exist(self, report):
+        assert report.malicious_only_packers
+
+    def test_pools_disjoint(self, report):
+        assert not report.shared_packers & report.malicious_only_packers
+        assert not report.shared_packers & report.benign_only_packers
+
+    def test_per_type_breakdown_uses_shared_packers(self, report):
+        # Section IV-C: per-type breakdowns show no discriminating packer;
+        # the top packers of the big types are the shared ones.
+        for mtype, entries in report.packers_per_type.items():
+            if len(entries) >= 3:
+                names = {name for name, _ in entries}
+                assert names & report.shared_packers, mtype

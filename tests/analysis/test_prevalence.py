@@ -1,0 +1,56 @@
+"""Tests for the Figure 2 prevalence analysis."""
+
+import pytest
+
+from repro.analysis.prevalence import prevalence_report
+from repro.labeling.labels import FileLabel
+
+
+@pytest.fixture(scope="module")
+def report(medium_session):
+    return prevalence_report(medium_session.labeled)
+
+
+class TestPrevalenceReport:
+    def test_distribution_covers_all_files(self, report, medium_session):
+        total = sum(
+            sum(counts.values())
+            for counts in report.distribution_by_label.values()
+        )
+        assert total == len(medium_session.dataset.files)
+
+    def test_single_machine_fraction_near_paper(self, report):
+        assert 0.82 <= report.single_machine_fraction <= 0.95
+
+    def test_unknown_files_have_longest_tail(self, report):
+        singles = report.single_machine_fraction_by_label
+        assert singles[FileLabel.UNKNOWN] > singles[FileLabel.MALICIOUS]
+        assert singles[FileLabel.MALICIOUS] > singles[FileLabel.BENIGN]
+
+    def test_machines_with_unknown_near_paper(self, report):
+        assert 0.60 <= report.machines_with_unknown_fraction <= 0.85
+
+    def test_capped_fraction_small(self, report):
+        assert 0.0 < report.capped_fraction < 0.02
+
+    def test_ccdf_series_monotone_decreasing(self, report):
+        for label in FileLabel:
+            series = report.ccdf_series(label)
+            fractions = [fraction for _, fraction in series]
+            assert fractions == sorted(fractions, reverse=True)
+            if series:
+                assert series[0] == (series[0][0], 1.0)
+
+    def test_ccdf_empty_for_missing_label(self, medium_session):
+        # Construct a report and ask for a label bucket that exists but
+        # query behavior on an empty counter via a fresh label copy.
+        report = prevalence_report(medium_session.labeled)
+        for label in FileLabel:
+            series = report.ccdf_series(label)
+            assert isinstance(series, list)
+
+    def test_prevalence_respects_sigma(self, report, medium_session):
+        sigma = medium_session.config.sigma
+        for counts in report.distribution_by_label.values():
+            if counts:
+                assert max(counts) <= sigma

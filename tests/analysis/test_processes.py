@@ -1,0 +1,129 @@
+"""Tests for the process-behavior analyses (Tables X-XII, XIV)."""
+
+import pytest
+
+from repro.analysis.processes import (
+    benign_process_behavior,
+    browser_behavior,
+    malicious_process_behavior,
+    unknown_download_processes,
+)
+from repro.labeling.labels import Browser, MalwareType, ProcessCategory
+
+
+@pytest.fixture(scope="module")
+def table_x(medium_session):
+    return benign_process_behavior(medium_session.labeled)
+
+
+@pytest.fixture(scope="module")
+def table_xi(medium_session):
+    return browser_behavior(medium_session.labeled)
+
+
+@pytest.fixture(scope="module")
+def table_xii(medium_session):
+    return malicious_process_behavior(medium_session.labeled)
+
+
+class TestTableX:
+    def test_main_categories_present(self, table_x):
+        assert ProcessCategory.BROWSER in table_x
+        assert ProcessCategory.WINDOWS in table_x
+
+    def test_browsers_dominate_downloads(self, table_x):
+        browser_row = table_x[ProcessCategory.BROWSER]
+        for category, row in table_x.items():
+            if category != ProcessCategory.BROWSER:
+                assert browser_row.total_files > row.total_files
+
+    def test_exploit_vectors_mostly_malicious(self, table_x):
+        # Java / Acrobat downloads are dominated by malware (Table X).
+        for category in (ProcessCategory.JAVA, ProcessCategory.ACROBAT):
+            if category not in table_x:
+                continue
+            row = table_x[category]
+            assert row.malicious_files >= row.benign_files
+            assert row.infected_machine_pct > table_x[
+                ProcessCategory.BROWSER
+            ].infected_machine_pct * 0.9
+
+    def test_infected_pct_bounded(self, table_x):
+        for row in table_x.values():
+            assert 0.0 <= row.infected_machine_pct <= 100.0
+
+    def test_type_mix_normalized(self, table_x):
+        for row in table_x.values():
+            if row.type_mix:
+                assert sum(row.type_mix.values()) == pytest.approx(1.0)
+
+    def test_droppers_lead_browser_downloads(self, table_x):
+        mix = table_x[ProcessCategory.BROWSER].type_mix
+        concrete = {
+            mtype: fraction
+            for mtype, fraction in mix.items()
+            if mtype != MalwareType.UNDEFINED
+        }
+        assert max(concrete, key=concrete.get) in (
+            MalwareType.DROPPER, MalwareType.PUP
+        )
+
+
+class TestTableXI:
+    def test_major_browsers_present(self, table_xi):
+        assert Browser.CHROME in table_xi
+        assert Browser.IE in table_xi
+
+    def test_ie_and_chrome_have_most_machines(self, table_xi):
+        machines = {browser: row.machines for browser, row in table_xi.items()}
+        top_two = sorted(machines, key=machines.get, reverse=True)[:2]
+        assert set(top_two) == {Browser.IE, Browser.CHROME}
+
+    def test_chrome_users_more_infected_than_ie(self, table_xi):
+        # Table XI's headline comparison.
+        assert table_xi[Browser.CHROME].infected_machine_pct > (
+            table_xi[Browser.IE].infected_machine_pct
+        )
+
+
+class TestTableXII:
+    def test_overall_row_present(self, table_xii):
+        assert None in table_xii
+        overall = table_xii[None]
+        assert overall.processes > 0
+        assert overall.machines > 0
+
+    def test_self_propagation_dominates(self, table_xii):
+        # Table XII: processes of a type mostly download the same type
+        # (for the strongly-typed classes).
+        for mtype in (MalwareType.ADWARE, MalwareType.RANSOMWARE,
+                      MalwareType.BANKER):
+            row = table_xii.get(mtype)
+            if row is None or not row.type_mix or row.malicious_files < 10:
+                continue
+            same_or_related = row.type_mix.get(mtype, 0.0)
+            if mtype == MalwareType.ADWARE:
+                # PUP processes also install adware heavily; accept both.
+                same_or_related += row.type_mix.get(MalwareType.PUP, 0.0)
+            assert same_or_related >= 0.3, mtype
+
+    def test_type_rows_subset_of_overall(self, table_xii):
+        overall = table_xii[None]
+        typed_processes = sum(
+            row.processes for mtype, row in table_xii.items()
+            if mtype is not None
+        )
+        assert typed_processes <= overall.processes + 1
+
+
+class TestTableXIV:
+    def test_rows_and_total(self, medium_session):
+        rows = unknown_download_processes(medium_session.labeled)
+        assert rows[-1].group == "total"
+        assert rows[-1].unknown_downloads == sum(
+            row.unknown_downloads for row in rows[:-1]
+        )
+
+    def test_browsers_download_most_unknowns(self, medium_session):
+        rows = unknown_download_processes(medium_session.labeled)
+        assert rows[0].group == "browser"

@@ -1,0 +1,100 @@
+"""Tests for the signer analyses (Tables VI-IX, Figure 4)."""
+
+import pytest
+
+from repro.analysis.signers import (
+    exclusive_signers,
+    shared_signer_scatter,
+    signed_percentages,
+    signer_counts,
+    top_signers,
+)
+from repro.labeling.labels import MalwareType
+
+
+@pytest.fixture(scope="module")
+def rate_rows(medium_session):
+    return {row.group: row for row in signed_percentages(medium_session.labeled)}
+
+
+class TestTableVI:
+    def test_all_groups_reported(self, rate_rows):
+        for mtype in MalwareType:
+            assert mtype.value in rate_rows
+        for group in ("benign", "unknown", "malicious"):
+            assert group in rate_rows
+
+    def test_droppers_mostly_signed(self, rate_rows):
+        assert rate_rows["dropper"].signed_pct > 65.0
+
+    def test_bankers_rarely_signed(self, rate_rows):
+        assert rate_rows["banker"].signed_pct < 25.0
+
+    def test_malicious_signed_more_than_benign(self, rate_rows):
+        # Table VI's headline: signed malicious % exceeds signed benign %.
+        assert rate_rows["malicious"].signed_pct > rate_rows["benign"].signed_pct
+
+    def test_browser_downloads_more_often_signed(self, rate_rows):
+        for group in ("dropper", "unknown", "malicious"):
+            row = rate_rows[group]
+            assert row.browser_signed_pct >= row.signed_pct - 3.0
+
+    def test_unknown_signing_near_paper(self, rate_rows):
+        assert 30.0 <= rate_rows["unknown"].signed_pct <= 50.0
+
+    def test_percentages_valid(self, rate_rows):
+        for row in rate_rows.values():
+            assert 0.0 <= row.signed_pct <= 100.0
+            assert row.browser_files <= row.files
+
+
+class TestTableVII:
+    def test_common_bounded_by_total(self, medium_session):
+        rows, total = signer_counts(medium_session.labeled)
+        for row in rows:
+            assert 0 <= row.common_with_benign <= row.signers
+        assert total.mtype is None
+        assert total.common_with_benign <= total.signers
+
+    def test_big_types_have_more_signers(self, medium_session):
+        rows, _ = signer_counts(medium_session.labeled)
+        by_type = {row.mtype: row.signers for row in rows}
+        assert by_type[MalwareType.PUP] > by_type[MalwareType.WORM]
+        assert by_type[MalwareType.UNDEFINED] > by_type[MalwareType.BANKER]
+
+
+class TestTableVIIIAndIX:
+    def test_top_signers_rows(self, medium_session):
+        rows = top_signers(medium_session.labeled)
+        groups = {row.group for row in rows}
+        assert "benign" in groups and "malicious (total)" in groups
+        pup_row = next(row for row in rows if row.group == "pup")
+        assert pup_row.top
+
+    def test_seed_signers_surface(self, medium_session):
+        rows = top_signers(medium_session.labeled)
+        total = next(row for row in rows if row.group == "malicious (total)")
+        rendered = " ".join(total.top + total.top_exclusive)
+        assert "Somoto" in rendered or "ISBRInstaller" in rendered or (
+            "Apps Installer" in rendered
+        )
+
+    def test_exclusive_signers_disjoint(self, medium_session):
+        report = exclusive_signers(medium_session.labeled)
+        benign_names = {name for name, _ in report.benign}
+        malicious_names = {name for name, _ in report.malicious}
+        assert not benign_names & malicious_names
+        assert report.malicious
+
+    def test_exclusive_counts_sorted(self, medium_session):
+        report = exclusive_signers(medium_session.labeled)
+        counts = [count for _, count in report.malicious]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestFigure4:
+    def test_shared_signers_have_both_counts(self, medium_session):
+        scatter = shared_signer_scatter(medium_session.labeled)
+        assert scatter, "some signers must be shared"
+        for _, malicious, benign in scatter:
+            assert malicious > 0 and benign > 0

@@ -1,0 +1,49 @@
+"""Tests for the Table I monthly summary."""
+
+import pytest
+
+from repro.analysis.summary import monthly_summary
+
+
+@pytest.fixture(scope="module")
+def rows(medium_session):
+    return monthly_summary(medium_session.labeled)
+
+
+class TestMonthlySummary:
+    def test_seven_months_plus_overall(self, rows):
+        assert len(rows) == 8
+        assert rows[0].month == "January"
+        assert rows[-1].month == "Overall"
+
+    def test_overall_totals_match_dataset(self, rows, medium_session):
+        overall = rows[-1]
+        dataset = medium_session.dataset
+        assert overall.events == len(dataset.events)
+        assert overall.machines == len(dataset.machine_ids)
+        assert overall.files == len(dataset.files)
+        assert overall.processes == len(dataset.processes)
+        assert overall.urls == len(dataset.urls)
+
+    def test_monthly_events_sum_to_overall(self, rows):
+        assert sum(row.events for row in rows[:-1]) == rows[-1].events
+
+    def test_percentages_in_range(self, rows):
+        for row in rows:
+            for value in (
+                row.proc_benign_pct, row.proc_malicious_pct,
+                row.file_benign_pct, row.file_malicious_pct,
+                row.url_benign_pct, row.url_malicious_pct,
+            ):
+                assert 0.0 <= value <= 100.0
+
+    def test_unknown_dominates_every_month(self, rows):
+        for row in rows:
+            assert row.file_unknown_pct > 50.0
+
+    def test_machine_counts_decline(self, rows):
+        assert rows[0].machines > rows[6].machines
+
+    def test_malicious_files_exceed_benign(self, rows):
+        overall = rows[-1]
+        assert overall.file_malicious_pct > overall.file_benign_pct

@@ -1,0 +1,64 @@
+"""Tests for the Section VI-A unknown-file characteristics."""
+
+import pytest
+
+from repro.analysis.unknowns import unknown_characteristics
+from repro.labeling.labels import FileLabel
+
+
+@pytest.fixture(scope="module")
+def report(medium_session):
+    return unknown_characteristics(medium_session.labeled)
+
+
+class TestClassProfiles:
+    def test_all_three_classes_profiled(self, report):
+        for label in (FileLabel.UNKNOWN, FileLabel.BENIGN,
+                      FileLabel.MALICIOUS):
+            assert report.profiles[label].files > 0
+
+    def test_unknown_signing_between_benign_and_malicious(self, report):
+        # Table VI: benign 30.7% < unknown 38.4% < malicious 66%.
+        benign = report.profiles[FileLabel.BENIGN].signed_fraction
+        unknown = report.profiles[FileLabel.UNKNOWN].signed_fraction
+        malicious = report.profiles[FileLabel.MALICIOUS].signed_fraction
+        assert benign < unknown < malicious
+
+    def test_unknowns_have_lowest_prevalence(self, report):
+        unknown = report.profiles[FileLabel.UNKNOWN].mean_prevalence
+        benign = report.profiles[FileLabel.BENIGN].mean_prevalence
+        malicious = report.profiles[FileLabel.MALICIOUS].mean_prevalence
+        assert unknown < malicious < benign
+
+    def test_packed_fractions_similar(self, report):
+        # Section IV-C: packing is not a discriminating property.
+        fractions = [
+            report.profiles[label].packed_fraction
+            for label in (FileLabel.UNKNOWN, FileLabel.BENIGN,
+                          FileLabel.MALICIOUS)
+        ]
+        assert max(fractions) - min(fractions) < 0.15
+
+    def test_sizes_positive(self, report):
+        for profile in report.profiles.values():
+            assert profile.median_size_bytes > 0
+
+
+class TestSignerOverlap:
+    def test_fractions_form_partition_bound(self, report):
+        total = (
+            report.signer_overlap_with_malicious
+            + report.signer_overlap_with_benign
+            + report.signer_unseen_fraction
+        )
+        # Shared-signer unknowns fall outside all three buckets.
+        assert 0.0 < total <= 1.0
+
+    def test_substantial_rule_reachable_mass(self, report):
+        # This is what makes the Section VI labeling work at all: a
+        # sizeable share of signed unknowns reuses labeled-world signers.
+        assert report.rule_reachable_fraction > 0.2
+
+    def test_substantial_unseen_mass(self, report):
+        # ... and this is why ~70% of unknowns stay unlabeled.
+        assert report.signer_unseen_fraction > 0.2

@@ -1,0 +1,27 @@
+"""Shared fixtures: session-scoped synthetic worlds.
+
+Generating and labeling a world takes a few seconds, so the suite builds
+two shared sessions once:
+
+* ``small_session`` -- tiny world for structural tests;
+* ``medium_session`` -- the calibration-band world used by analysis and
+  integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorldConfig, build_session
+
+
+@pytest.fixture(scope="session")
+def small_session():
+    """A tiny but complete session (fast; ~5.7k machines)."""
+    return build_session(WorldConfig(seed=11, scale=0.005))
+
+
+@pytest.fixture(scope="session")
+def medium_session():
+    """The calibration-check session (~11k machines)."""
+    return build_session(WorldConfig(seed=7, scale=0.01))

@@ -1,0 +1,130 @@
+"""Unit tests for Table XV feature extraction."""
+
+import pytest
+
+from repro.core.dataset import TrainingSet, unknown_vectors
+from repro.core.features import (
+    ALEXA_BINS,
+    FEATURE_NAMES,
+    FeatureExtractor,
+    FeatureVector,
+    NO_CA,
+    UNPACKED,
+    UNSIGNED,
+    alexa_bin,
+)
+from repro.labeling.labels import FileLabel
+
+
+class TestAlexaBin:
+    @pytest.mark.parametrize(
+        "rank, expected",
+        [
+            (1, "top-1k"),
+            (1000, "top-1k"),
+            (1001, "1k-10k"),
+            (10_000, "1k-10k"),
+            (10_001, "10k-100k"),
+            (100_000, "10k-100k"),
+            (100_001, "100k-1m"),
+            (1_000_000, "100k-1m"),
+            (1_000_001, "unranked"),
+            (None, "unranked"),
+        ],
+    )
+    def test_boundaries(self, rank, expected):
+        assert alexa_bin(rank) == expected
+
+    def test_all_outputs_are_known_bins(self):
+        for rank in (None, 5, 5_000, 50_000, 500_000, 2_000_000):
+            assert alexa_bin(rank) in ALEXA_BINS
+
+
+class TestFeatureVector:
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            FeatureVector("a" * 40, ("only", "three", "values"))
+
+    def test_named_access(self):
+        vector = FeatureVector("a" * 40, tuple(FEATURE_NAMES))
+        assert vector.value("file_signer") == "file_signer"
+        assert vector.as_dict()["alexa_bin"] == "alexa_bin"
+
+
+class TestExtractionOnWorld:
+    def test_vectors_for_every_file(self, small_session):
+        extractor = FeatureExtractor(
+            small_session.labeled, small_session.alexa
+        )
+        vectors = extractor.extract_all()
+        assert set(vectors) == set(small_session.dataset.files)
+        for vector in list(vectors.values())[:200]:
+            assert len(vector.values) == 8
+            assert vector.value("alexa_bin") in ALEXA_BINS
+
+    def test_sentinels_used_for_absent_properties(self, small_session):
+        extractor = FeatureExtractor(
+            small_session.labeled, small_session.alexa
+        )
+        vectors = extractor.extract_all()
+        values = {vector.value("file_signer") for vector in vectors.values()}
+        assert UNSIGNED in values
+
+    def test_proc_type_reflects_benign_categories(self, small_session):
+        extractor = FeatureExtractor(
+            small_session.labeled, small_session.alexa
+        )
+        vectors = extractor.extract_all()
+        proc_types = {vector.value("proc_type") for vector in vectors.values()}
+        assert "browser" in proc_types
+        assert any(t.endswith("-process") for t in proc_types)
+
+    def test_first_event_determines_features(self, small_session):
+        labeled = small_session.labeled
+        extractor = FeatureExtractor(labeled, small_session.alexa)
+        sha, events = next(
+            (sha, evs)
+            for sha, evs in labeled.dataset.events_by_file.items()
+            if len(evs) > 1
+        )
+        vector = extractor.extract_all()[sha]
+        assert vector == extractor.extract(sha, events[0])
+
+
+class TestTrainingSet:
+    def test_only_confident_labels(self, small_session):
+        training = TrainingSet.from_labeled(
+            small_session.labeled, small_session.alexa
+        )
+        labels = small_session.labeled.file_labels
+        for instance in training.instances:
+            assert labels[instance.sha1] in (
+                FileLabel.BENIGN, FileLabel.MALICIOUS
+            )
+
+    def test_exclusion(self, small_session):
+        full = TrainingSet.from_labeled(
+            small_session.labeled, small_session.alexa
+        )
+        first_sha = full.instances[0].sha1
+        reduced = TrainingSet.from_labeled(
+            small_session.labeled, small_session.alexa,
+            exclude_sha1s={first_sha},
+        )
+        assert len(reduced) == len(full) - 1
+
+    def test_class_counts(self, small_session):
+        training = TrainingSet.from_labeled(
+            small_session.labeled, small_session.alexa
+        )
+        counts = training.class_counts()
+        assert counts["malicious"] > 0
+        assert counts["benign"] > 0
+
+    def test_unknown_vectors_disjoint_from_training(self, small_session):
+        training = TrainingSet.from_labeled(
+            small_session.labeled, small_session.alexa
+        )
+        unknowns = unknown_vectors(small_session.labeled, small_session.alexa)
+        training_shas = {instance.sha1 for instance in training.instances}
+        assert not training_shas & set(unknowns)

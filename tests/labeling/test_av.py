@@ -1,0 +1,72 @@
+"""Unit tests for AV label synthesis and interpretation."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.av import (
+    ALL_ENGINES,
+    INTERPRETATION_MAP,
+    LEADING_ENGINES,
+    OTHER_ENGINES,
+    TRUSTED_ENGINES,
+    interpret_label,
+    synthesize_label,
+)
+from repro.labeling.labels import MalwareType
+
+TYPED = [t for t in MalwareType if t != MalwareType.UNDEFINED]
+
+
+class TestEngineRegistry:
+    def test_leading_subset_of_trusted(self):
+        assert set(LEADING_ENGINES) <= set(TRUSTED_ENGINES)
+
+    def test_ten_trusted_engines(self):
+        assert len(TRUSTED_ENGINES) == 10
+
+    def test_roughly_fifty_engines_total(self):
+        assert 45 <= len(ALL_ENGINES) <= 55
+        assert not set(TRUSTED_ENGINES) & set(OTHER_ENGINES)
+
+    def test_interpretation_map_covers_leading_engines(self):
+        assert set(INTERPRETATION_MAP) == set(LEADING_ENGINES)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("engine", LEADING_ENGINES)
+    @pytest.mark.parametrize("mtype", TYPED)
+    def test_synthesized_label_interprets_back(self, engine, mtype):
+        rng = np.random.default_rng(0)
+        label = synthesize_label(engine, mtype, "zbot", rng)
+        assert interpret_label(engine, label) == mtype, label
+
+    @pytest.mark.parametrize("engine", LEADING_ENGINES)
+    def test_generic_labels_map_to_undefined(self, engine):
+        rng = np.random.default_rng(1)
+        label = synthesize_label(engine, None, None, rng)
+        assert interpret_label(engine, label) == MalwareType.UNDEFINED, label
+
+    def test_paper_examples(self):
+        assert interpret_label("Kaspersky", "Trojan-Spy.Win32.Zbot.ruxa") == (
+            MalwareType.SPYWARE
+        )
+        assert interpret_label(
+            "McAfee", "Downloader-FYH!6C7411D1C043"
+        ) == MalwareType.DROPPER
+        assert interpret_label("McAfee", "Artemis!DEC3771868CB") == (
+            MalwareType.UNDEFINED
+        )
+        assert interpret_label(
+            "Kaspersky", "Trojan-Downloader.Win32.Agent.heqj"
+        ) == MalwareType.DROPPER
+        assert interpret_label("TrendMicro", "TROJ_FAKEAV.SMU1") == (
+            MalwareType.FAKEAV
+        )
+
+    def test_non_leading_engine_has_no_interpretation(self):
+        assert interpret_label("ClamAV", "Trojan.Zbot-1234") is None
+
+    def test_family_embedded_in_label(self):
+        rng = np.random.default_rng(2)
+        label = synthesize_label("Symantec", MalwareType.TROJAN, "upatre", rng)
+        assert "Upatre" in label

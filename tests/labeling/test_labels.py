@@ -1,0 +1,75 @@
+"""Unit tests for the label taxonomy."""
+
+from repro.labeling.labels import (
+    FIG5_EXCLUDED_TYPES,
+    LOW_SEVERITY_TYPES,
+    TYPE_SPECIFICITY,
+    Browser,
+    FileLabel,
+    MalwareType,
+    ProcessCategory,
+    browser_from_name,
+    categorize_process_name,
+)
+
+
+class TestFileLabel:
+    def test_confidence_flags(self):
+        assert FileLabel.BENIGN.is_confident
+        assert FileLabel.MALICIOUS.is_confident
+        assert not FileLabel.LIKELY_BENIGN.is_confident
+        assert not FileLabel.UNKNOWN.is_confident
+
+    def test_side_flags(self):
+        assert FileLabel.LIKELY_BENIGN.is_benign_side
+        assert FileLabel.LIKELY_MALICIOUS.is_malicious_side
+        assert not FileLabel.UNKNOWN.is_benign_side
+        assert not FileLabel.UNKNOWN.is_malicious_side
+
+
+class TestSpecificity:
+    def test_every_type_ranked(self):
+        assert set(TYPE_SPECIFICITY) == set(MalwareType)
+
+    def test_generic_types_lowest(self):
+        assert TYPE_SPECIFICITY[MalwareType.UNDEFINED] < TYPE_SPECIFICITY[
+            MalwareType.TROJAN
+        ]
+        assert all(
+            TYPE_SPECIFICITY[MalwareType.TROJAN] < TYPE_SPECIFICITY[mtype]
+            for mtype in MalwareType
+            if mtype not in (MalwareType.TROJAN, MalwareType.UNDEFINED)
+        )
+
+    def test_banker_more_specific_than_dropper(self):
+        # The paper's example: banker wins over dropper in a tie.
+        assert TYPE_SPECIFICITY[MalwareType.BANKER] > TYPE_SPECIFICITY[
+            MalwareType.DROPPER
+        ]
+
+    def test_fig5_exclusions(self):
+        assert MalwareType.ADWARE in FIG5_EXCLUDED_TYPES
+        assert MalwareType.PUP in FIG5_EXCLUDED_TYPES
+        assert MalwareType.UNDEFINED in FIG5_EXCLUDED_TYPES
+        assert MalwareType.DROPPER not in FIG5_EXCLUDED_TYPES
+        assert LOW_SEVERITY_TYPES < FIG5_EXCLUDED_TYPES
+
+
+class TestProcessCategorization:
+    def test_browsers(self):
+        assert categorize_process_name("chrome.exe") == ProcessCategory.BROWSER
+        assert categorize_process_name("IEXPLORE.EXE") == ProcessCategory.BROWSER
+        assert browser_from_name("firefox.exe") == Browser.FIREFOX
+        assert browser_from_name("safari.exe") == Browser.SAFARI
+
+    def test_windows_processes(self):
+        assert categorize_process_name("svchost.exe") == ProcessCategory.WINDOWS
+        assert categorize_process_name("explorer.exe") == ProcessCategory.WINDOWS
+
+    def test_java_and_acrobat(self):
+        assert categorize_process_name("javaw.exe") == ProcessCategory.JAVA
+        assert categorize_process_name("AcroRd32.exe") == ProcessCategory.ACROBAT
+
+    def test_unknown_names_are_other(self):
+        assert categorize_process_name("whatever.exe") == ProcessCategory.OTHER
+        assert browser_from_name("whatever.exe") is None

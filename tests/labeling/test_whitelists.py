@@ -1,0 +1,94 @@
+"""Unit tests for whitelist / Alexa / URL-reputation services."""
+
+import pytest
+
+from repro.labeling.labels import FileLabel, UrlLabel
+from repro.labeling.whitelists import (
+    AlexaService,
+    FileWhitelist,
+    UrlReputationService,
+)
+from repro.synth.entities import SyntheticDomain
+
+
+def _domain(name, rank=None, benign=False, malicious=False):
+    return SyntheticDomain(
+        name=name,
+        category="test",
+        alexa_rank=rank,
+        popularity_weight=1.0,
+        url_benign=benign,
+        url_malicious=malicious,
+    )
+
+
+class TestAlexaService:
+    def test_rank_lookup(self):
+        alexa = AlexaService.build(
+            [_domain("softonic.com", rank=500), _domain("obscure.biz")]
+        )
+        assert alexa.rank("softonic.com") == 500
+        assert alexa.rank("obscure.biz") is None
+        assert alexa.in_top_million("softonic.com")
+        assert not alexa.in_top_million("obscure.biz")
+
+
+class TestUrlReputation:
+    @pytest.fixture()
+    def service(self):
+        domains = [
+            _domain("goodsoft.com", rank=900, benign=True),
+            _domain("evil.pw", malicious=True),
+            _domain("plain.org", rank=5000),
+        ]
+        return UrlReputationService.build(domains, AlexaService.build(domains))
+
+    def test_benign_requires_whitelist_and_alexa(self, service):
+        assert service.label_url("http://dl.goodsoft.com/a.exe") == (
+            UrlLabel.BENIGN
+        )
+        assert service.label_url("http://plain.org/a.exe") == UrlLabel.UNKNOWN
+
+    def test_blacklist_wins(self, service):
+        assert service.label_url("http://cdn.evil.pw/x.exe") == (
+            UrlLabel.MALICIOUS
+        )
+
+    def test_unknown_host(self, service):
+        assert service.label_url("http://nowhere.example/x") == UrlLabel.UNKNOWN
+
+
+class TestFileWhitelist:
+    def test_contains_and_len(self):
+        whitelist = FileWhitelist(["a" * 40])
+        assert "a" * 40 in whitelist
+        assert "b" * 40 not in whitelist
+        assert len(whitelist) == 1
+
+    def test_build_from_world(self, small_session):
+        corpus = small_session.world.corpus
+        whitelist = FileWhitelist.build(
+            corpus.files, corpus.benign_processes.keys(), seed=1
+        )
+        # Every benign ecosystem process must be whitelisted.
+        for sha in corpus.benign_processes:
+            assert sha in whitelist
+        # A substantial share of observed-benign files is whitelisted.
+        benign = [
+            sha for sha, f in corpus.files.items()
+            if f.observed_class == FileLabel.BENIGN
+        ]
+        covered = sum(1 for sha in benign if sha in whitelist)
+        assert 0.35 <= covered / len(benign) <= 0.75
+
+    def test_whitelist_mostly_clean(self, small_session):
+        corpus = small_session.world.corpus
+        whitelist = FileWhitelist.build(
+            corpus.files, corpus.benign_processes.keys(), seed=1
+        )
+        noisy = sum(
+            1
+            for sha, file in corpus.files.items()
+            if sha in whitelist and file.latent_malicious
+        )
+        assert noisy / len(whitelist) < 0.02

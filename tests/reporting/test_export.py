@@ -1,0 +1,53 @@
+"""Tests for the figure CSV exporter."""
+
+import csv
+
+import pytest
+
+from repro.reporting.export import export_figure_csvs
+
+
+@pytest.fixture(scope="module")
+def exported(small_session, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("figures")
+    paths = export_figure_csvs(
+        small_session.labeled, small_session.alexa, directory
+    )
+    return paths
+
+
+def _read(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExport:
+    def test_all_figures_exported(self, exported):
+        assert set(exported) == {"fig1", "fig2", "fig3_fig6", "fig4", "fig5"}
+        for path in exported.values():
+            assert path.exists()
+
+    def test_fig1_header_and_rows(self, exported):
+        rows = _read(exported["fig1"])
+        assert rows[0] == ["family", "samples"]
+        assert len(rows) > 1
+        counts = [int(row[1]) for row in rows[1:]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fig2_long_format(self, exported):
+        rows = _read(exported["fig2"])
+        assert rows[0] == ["series", "prevalence", "ccdf"]
+        series = {row[0] for row in rows[1:]}
+        assert series == {"unknown", "malicious", "benign"}
+        for row in rows[1:]:
+            assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_fig5_sources_present(self, exported):
+        rows = _read(exported["fig5"])
+        series = {row[0] for row in rows[1:]}
+        assert series == {"benign", "adware", "pup", "dropper"}
+
+    def test_fig4_counts_positive(self, exported):
+        rows = _read(exported["fig4"])
+        for row in rows[1:]:
+            assert int(row[1]) > 0 and int(row[2]) > 0

@@ -1,0 +1,115 @@
+"""Tests for table/figure rendering primitives and paper renderers."""
+
+import pytest
+
+from repro.core.evaluation import full_evaluation
+from repro.reporting import (
+    fmt_frac,
+    fmt_int,
+    fmt_pct,
+    render_bars,
+    render_cdf,
+    render_multi_cdf,
+    render_table,
+)
+from repro.reporting import paper
+
+
+class TestFormatting:
+    def test_fmt_int_thousands(self):
+        assert fmt_int(1139183) == "1,139,183"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(24.44) == "24.4%"
+        assert fmt_pct(0.1, 2) == "0.10%"
+
+    def test_fmt_frac(self):
+        assert fmt_frac(0.8312) == "0.831"
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        text = render_table(
+            ["Name", "Count"], [["alpha", "1,234"], ["b", "5"]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("+")
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every row equally wide
+        assert "alpha" in text and "1,234" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+
+class TestCharts:
+    def test_render_bars(self):
+        text = render_bars([("zbot", 100), ("upatre", 10)], title="Fams")
+        assert "zbot" in text
+        assert text.splitlines()[1].count("#") > text.splitlines()[2].count("#")
+
+    def test_render_bars_empty(self):
+        assert "(empty)" in render_bars([])
+
+    def test_render_cdf(self):
+        text = render_cdf([(1, 0.5), (5, 1.0)])
+        assert "0.500" in text and "1.000" in text
+
+    def test_render_multi_cdf_aligns_grids(self):
+        text = render_multi_cdf(
+            {"a": [(1, 0.2), (2, 0.9)], "b": [(1, 0.1)]}
+        )
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 3
+
+
+class TestPaperRenderers:
+    """Every renderer produces non-empty output with its title."""
+
+    @pytest.fixture(scope="class")
+    def evaluation(self, medium_session):
+        return full_evaluation(
+            medium_session.labeled, medium_session.alexa, taus=(0.001,),
+            train_months=[0],
+        )
+
+    def test_dataset_renderers(self, medium_session):
+        labeled = medium_session.labeled
+        for name in (
+            "render_table_i", "render_table_ii", "render_fig_1",
+            "render_fig_2", "render_table_iii", "render_table_iv",
+            "render_table_v", "render_table_vi", "render_table_vii",
+            "render_table_viii", "render_table_ix", "render_fig_4",
+            "render_packers", "render_table_x", "render_table_xi",
+            "render_table_xii", "render_fig_5", "render_table_xiii",
+            "render_table_xiv", "render_unknown_characteristics",
+        ):
+            text = getattr(paper, name)(labeled)
+            assert text.strip(), name
+
+    def test_alexa_renderers(self, medium_session):
+        for name in ("render_fig_3", "render_fig_6"):
+            text = getattr(paper, name)(
+                medium_session.labeled, medium_session.alexa
+            )
+            assert "Alexa" in text, name
+
+    def test_table_xv_static(self):
+        text = paper.render_table_xv()
+        assert "file_signer" in text
+        assert "Table XV" in text
+
+    def test_rule_tables(self, evaluation):
+        xvi = paper.render_table_xvi(evaluation)
+        xvii = paper.render_table_xvii(evaluation)
+        assert "Table XVI" in xvi and "January" in xvi
+        assert "Table XVII" in xvii and "Jan-Feb" in xvii
+
+    def test_table_i_contains_all_months(self, medium_session):
+        text = paper.render_table_i(medium_session.labeled)
+        for month in ("January", "July", "Overall"):
+            assert month in text

@@ -1,0 +1,113 @@
+"""Unit tests for the machine population and process ecosystem."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling.labels import Browser, FileLabel, ProcessCategory
+from repro.synth.behavior import (
+    PROFILES,
+    MachineFactory,
+    ProcessEcosystem,
+    risk_adjusted_mix,
+)
+from repro.synth.calibration import CONTEXT_LABEL_MIXES
+from repro.synth.names import NameFactory
+from repro.telemetry.events import COLLECTION_DAYS
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    rng = np.random.default_rng(0)
+    return ProcessEcosystem(rng, NameFactory(np.random.default_rng(1)), 0.02)
+
+
+class TestProcessEcosystem:
+    def test_every_category_has_versions(self, ecosystem):
+        for category in ProcessCategory:
+            assert ecosystem.by_category[category], category
+
+    def test_every_browser_has_versions(self, ecosystem):
+        for browser in Browser:
+            assert ecosystem.by_browser[browser], browser
+
+    def test_browser_executable_names(self, ecosystem):
+        for process in ecosystem.by_browser[Browser.CHROME]:
+            assert process.executable_name == "chrome.exe"
+            assert process.signer == "Google Inc"
+
+    def test_windows_processes_signed_by_microsoft(self, ecosystem):
+        for process in ecosystem.by_category[ProcessCategory.WINDOWS]:
+            assert process.signer == "Microsoft Windows"
+
+    def test_browser_sampling_requires_browser(self, ecosystem):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            ecosystem.sample(rng, ProcessCategory.BROWSER)
+        process = ecosystem.sample(rng, ProcessCategory.BROWSER, Browser.IE)
+        assert process.browser == Browser.IE
+
+    def test_hashes_unique(self, ecosystem):
+        hashes = [p.sha1 for p in ecosystem.all_processes()]
+        assert len(hashes) == len(set(hashes))
+
+
+class TestMachineFactory:
+    def test_machine_windows_within_collection(self):
+        factory = MachineFactory(
+            np.random.default_rng(3), NameFactory(np.random.default_rng(4))
+        )
+        machines = list(factory.generate(500))
+        assert len(machines) == 500
+        for machine in machines:
+            assert 0 <= machine.start_day < machine.end_day < COLLECTION_DAYS
+            assert machine.profile in PROFILES
+            assert isinstance(machine.browser, Browser)
+
+    def test_profile_weights_respected(self):
+        factory = MachineFactory(
+            np.random.default_rng(5), NameFactory(np.random.default_rng(6))
+        )
+        machines = list(factory.generate(4000))
+        clean = sum(1 for m in machines if m.profile == "clean") / 4000
+        assert clean == pytest.approx(PROFILES["clean"][0], abs=0.03)
+
+    def test_most_machines_have_short_activity_spans(self):
+        factory = MachineFactory(
+            np.random.default_rng(7), NameFactory(np.random.default_rng(8))
+        )
+        machines = list(factory.generate(2000))
+        short = sum(1 for m in machines if m.active_days <= 40)
+        assert short / 2000 > 0.6  # geometric month continuation
+
+
+class TestRiskAdjustedMix:
+    def test_risk_scales_malicious_mass(self):
+        mix = CONTEXT_LABEL_MIXES["browser"]
+        risky = risk_adjusted_mix(mix, 2.0)
+        # The result is renormalized, so assert the malicious share grew
+        # and the malicious/likely-malicious ratio is preserved.
+        assert risky[FileLabel.MALICIOUS] > mix[FileLabel.MALICIOUS]
+        assert (
+            risky[FileLabel.MALICIOUS] / risky[FileLabel.LIKELY_MALICIOUS]
+        ) == pytest.approx(
+            mix[FileLabel.MALICIOUS] / mix[FileLabel.LIKELY_MALICIOUS]
+        )
+
+    def test_unknown_scale_moves_mass_to_benign(self):
+        mix = CONTEXT_LABEL_MIXES["browser"]
+        clean = risk_adjusted_mix(mix, 1.0, unknown_scale=0.2)
+        assert clean[FileLabel.UNKNOWN] < mix[FileLabel.UNKNOWN]
+        assert clean[FileLabel.BENIGN] > mix[FileLabel.BENIGN]
+
+    @given(
+        risk=st.floats(min_value=0.1, max_value=5.0),
+        unknown_scale=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_always_a_probability_distribution(self, risk, unknown_scale):
+        mix = CONTEXT_LABEL_MIXES["browser"]
+        adjusted = risk_adjusted_mix(mix, risk, unknown_scale)
+        assert sum(adjusted.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in adjusted.values())

@@ -1,0 +1,106 @@
+"""Sanity checks over the calibration constants themselves."""
+
+import pytest
+
+from repro.labeling.labels import Browser, FileLabel, MalwareType, ProcessCategory
+from repro.synth import calibration
+
+
+class TestMixes:
+    def test_file_label_fractions_sum_to_one(self):
+        assert sum(calibration.FILE_LABEL_FRACTIONS.values()) == pytest.approx(
+            1.0, abs=0.001
+        )
+
+    def test_type_mix_sums_to_one(self):
+        assert sum(calibration.TYPE_MIX.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_context_mixes_sum_to_one(self):
+        for context, mix in calibration.CONTEXT_LABEL_MIXES.items():
+            assert sum(mix.values()) == pytest.approx(1.0, abs=0.01), context
+
+    def test_process_category_type_mixes_normalized(self):
+        for category, target in calibration.PROCESS_CATEGORY_TARGETS.items():
+            assert sum(target.type_mix.values()) == pytest.approx(1.0), category
+
+    def test_malicious_process_type_mixes_normalized(self):
+        for mtype, target in calibration.MALICIOUS_PROCESS_TARGETS.items():
+            assert sum(target.type_mix.values()) == pytest.approx(1.0), mtype
+
+    def test_normalized_mix_helper(self):
+        mix = calibration.normalized_mix({"a": 2.0, "b": 2.0})
+        assert mix == {"a": 0.5, "b": 0.5}
+        with pytest.raises(ValueError):
+            calibration.normalized_mix({"a": 0.0})
+
+
+class TestMonthlyTargets:
+    def test_seven_months(self):
+        assert len(calibration.MONTHLY_TARGETS) == 7
+        assert calibration.MONTHLY_TARGETS[0].name == "January"
+
+    def test_events_sum_close_to_total(self):
+        # The paper's Table I monthly event counts sum to 2,995,337 while
+        # its "Overall" row reports 3,073,863 -- a ~2.6% internal
+        # inconsistency we preserve verbatim.  Assert they agree loosely.
+        monthly_sum = sum(m.events for m in calibration.MONTHLY_TARGETS)
+        assert monthly_sum == pytest.approx(calibration.TOTAL_EVENTS, rel=0.03)
+
+    def test_files_sum_exceeds_total_distinct(self):
+        # Files recur across months, so the monthly sum exceeds the
+        # distinct total.
+        assert sum(m.files for m in calibration.MONTHLY_TARGETS) >= (
+            calibration.TOTAL_FILES
+        )
+
+    def test_machine_counts_decline_over_time(self):
+        machines = [m.machines for m in calibration.MONTHLY_TARGETS]
+        assert machines[0] > machines[-1]
+
+
+class TestCoverage:
+    def test_every_type_has_signing_rate(self):
+        assert set(calibration.SIGNING_RATES) == set(MalwareType)
+
+    def test_every_type_has_chain_parameters(self):
+        assert set(calibration.CHAIN_SPAWN_PROB) == set(MalwareType)
+        assert set(calibration.CHAIN_LENGTH_MEAN) == set(MalwareType)
+        assert set(calibration.AFTERMATH_PROB) == set(MalwareType)
+
+    def test_every_browser_covered(self):
+        assert set(calibration.BROWSER_TARGETS) == set(Browser)
+        assert set(calibration.BROWSER_RISK) == set(Browser)
+        assert sum(calibration.BROWSER_SHARE.values()) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_every_category_covered(self):
+        assert set(calibration.PROCESS_CATEGORY_TARGETS) == set(ProcessCategory)
+        assert set(calibration.CATEGORY_ENGAGEMENT) == set(ProcessCategory)
+
+    def test_prevalence_models_cover_labels(self):
+        assert set(calibration.PREVALENCE_MODELS) == set(FileLabel)
+
+    def test_signer_count_totals_consistent(self):
+        # Table VII: shared signers cannot exceed the per-type signers.
+        for mtype, (total, common) in calibration.SIGNER_COUNTS.items():
+            assert 0 <= common <= total, mtype
+        assert calibration.TOTAL_SHARED_SIGNERS <= calibration.TOTAL_MALICIOUS_SIGNERS
+
+
+class TestScaling:
+    def test_scaled_floor(self):
+        assert calibration.scaled(1000, 0.001) == 1
+        assert calibration.scaled(1000, 0.5) == 500
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            calibration.scaled(10, 0.0)
+
+    def test_sublinear_scaled_keeps_more_than_linear(self):
+        linear = calibration.scaled(10_000, 0.01)
+        sublinear = calibration.sublinear_scaled(10_000, 0.01)
+        assert sublinear > linear
+
+    def test_sublinear_identity_at_full_scale(self):
+        assert calibration.sublinear_scaled(500, 1.0) == 500

@@ -1,0 +1,167 @@
+"""Unit and property tests for the random samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.distributions import (
+    CategoricalSampler,
+    DelayModel,
+    PrevalenceModel,
+    discrete_power_law,
+    poisson_at_least,
+    split_count,
+    spawn_rngs,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(99))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert np.allclose(weights, 0.2)
+
+
+class TestCategoricalSampler:
+    def test_respects_weights(self):
+        rng = np.random.default_rng(0)
+        sampler = CategoricalSampler(["a", "b"], [0.9, 0.1])
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        assert 0.85 < draws.count("a") / 2000 < 0.95
+
+    def test_zero_weight_item_never_drawn(self):
+        rng = np.random.default_rng(0)
+        sampler = CategoricalSampler(["a", "b"], [1.0, 0.0])
+        assert all(sampler.sample(rng) == "a" for _ in range(200))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            CategoricalSampler([], [])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a", "b"], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            CategoricalSampler(["a", "b"], [1.0, -1.0])
+
+    def test_zipf_constructor(self):
+        rng = np.random.default_rng(1)
+        sampler = CategoricalSampler.zipf(list("abcdef"), 1.5)
+        draws = [sampler.sample(rng) for _ in range(3000)]
+        assert draws.count("a") > draws.count("f")
+
+    def test_deterministic_given_seed(self):
+        sampler = CategoricalSampler(list("xyz"), [1, 2, 3])
+        first = [sampler.sample(np.random.default_rng(42)) for _ in range(20)]
+        second = [sampler.sample(np.random.default_rng(42)) for _ in range(20)]
+        assert first == second
+
+
+class TestDiscretePowerLaw:
+    @given(
+        alpha=st.floats(min_value=0.5, max_value=4.0),
+        low=st.integers(min_value=1, max_value=5),
+        span=st.integers(min_value=1, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60)
+    def test_within_bounds(self, alpha, low, span, seed):
+        rng = np.random.default_rng(seed)
+        value = discrete_power_law(rng, alpha, low, low + span)
+        assert low <= value <= low + span
+
+    def test_degenerate_support(self):
+        rng = np.random.default_rng(0)
+        assert discrete_power_law(rng, 2.0, 7, 7) == 7
+
+    def test_invalid_support(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            discrete_power_law(rng, 2.0, 0, 10)
+        with pytest.raises(ValueError):
+            discrete_power_law(rng, 2.0, 10, 5)
+
+    def test_heavier_alpha_means_smaller_values(self):
+        rng = np.random.default_rng(3)
+        light = np.mean([discrete_power_law(rng, 1.2, 2, 100) for _ in range(3000)])
+        heavy = np.mean([discrete_power_law(rng, 3.0, 2, 100) for _ in range(3000)])
+        assert heavy < light
+
+
+class TestPrevalenceModel:
+    def test_single_machine_probability(self):
+        model = PrevalenceModel(0.9, 2.5, 30)
+        rng = np.random.default_rng(5)
+        draws = [model.sample(rng) for _ in range(5000)]
+        assert 0.87 < draws.count(1) / 5000 < 0.93
+        assert max(draws) <= 30
+
+    def test_mean_matches_empirical(self):
+        model = PrevalenceModel(0.8, 2.0, 50)
+        rng = np.random.default_rng(9)
+        empirical = np.mean([model.sample(rng) for _ in range(40000)])
+        assert empirical == pytest.approx(model.mean, rel=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrevalenceModel(1.5, 2.0, 30)
+        with pytest.raises(ValueError):
+            PrevalenceModel(0.5, 2.0, 1)
+
+
+class TestDelayModel:
+    def test_same_day_mass(self):
+        model = DelayModel(same_day_prob=0.7, tail_scale_days=3.0)
+        assert model.cdf_at(0.999) == pytest.approx(0.7, abs=0.03)
+
+    def test_faster_model_dominates(self):
+        fast = DelayModel(0.7, 2.0)
+        slow = DelayModel(0.1, 30.0)
+        for day in (1, 5, 10):
+            assert fast.cdf_at(day) > slow.cdf_at(day)
+
+    def test_max_days_truncation(self):
+        model = DelayModel(0.0, 100.0, max_days=5.0)
+        rng = np.random.default_rng(2)
+        assert all(model.sample(rng) <= 5.0 for _ in range(200))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayModel(2.0, 1.0)
+        with pytest.raises(ValueError):
+            DelayModel(0.5, 0.0)
+
+
+class TestHelpers:
+    def test_poisson_at_least(self):
+        rng = np.random.default_rng(0)
+        assert all(poisson_at_least(rng, 0.1, minimum=1) >= 1 for _ in range(50))
+
+    @given(
+        total=st.integers(min_value=0, max_value=1000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_split_count_sums_to_total(self, total, seed):
+        rng = np.random.default_rng(seed)
+        parts = split_count(rng, total, [0.5, 0.3, 0.2])
+        assert sum(parts) == total
+
+    def test_split_count_rejects_zero_fractions(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            split_count(rng, 10, [0.0, 0.0])
+
+    def test_spawn_rngs_independent_streams(self):
+        rng_a, rng_b = spawn_rngs(7, 2)
+        assert rng_a.random() != rng_b.random()

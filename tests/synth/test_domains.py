@@ -1,0 +1,102 @@
+"""Unit tests for the domain ecosystem."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.labels import FileLabel, MalwareType
+from repro.synth import domains as dom
+from repro.synth.names import NameFactory
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    rng = np.random.default_rng(0)
+    return dom.DomainEcosystem(rng, NameFactory(np.random.default_rng(1)), 0.02)
+
+
+class TestConstruction:
+    def test_all_categories_populated(self, ecosystem):
+        for category in dom.ALL_CATEGORIES:
+            assert ecosystem.domains_by_category[category], category
+
+    def test_seed_domains_present(self, ecosystem):
+        hosting = {d.name for d in ecosystem.domains_by_category[dom.FILE_HOSTING]}
+        assert "softonic.com" in hosting
+        assert "mediafire.com" in hosting
+        fakeav = {d.name for d in ecosystem.domains_by_category[dom.FAKEAV_SOCIAL]}
+        assert "5k-stopadware2014.in" in fakeav
+
+    def test_fakeav_domains_unranked(self, ecosystem):
+        for domain in ecosystem.domains_by_category[dom.FAKEAV_SOCIAL]:
+            assert domain.alexa_rank is None
+
+    def test_file_hosting_domains_mostly_ranked(self, ecosystem):
+        pool = ecosystem.domains_by_category[dom.FILE_HOSTING]
+        ranked = sum(1 for d in pool if d.alexa_rank is not None)
+        assert ranked / len(pool) > 0.8
+
+    def test_url_flags_mutually_exclusive(self, ecosystem):
+        for domain in ecosystem.all_domains():
+            assert not (domain.url_benign and domain.url_malicious)
+
+    def test_update_domains_whitelisted_and_benign(self, ecosystem):
+        for domain in ecosystem.domains_by_category[dom.UPDATE]:
+            assert domain.url_benign
+
+    def test_domain_names_unique(self, ecosystem):
+        names = [d.name for d in ecosystem.all_domains()]
+        assert len(names) == len(set(names))
+
+
+class TestSampling:
+    def test_sample_returns_from_requested_category(self, ecosystem):
+        rng = np.random.default_rng(2)
+        for category in dom.ALL_CATEGORIES:
+            domain = ecosystem.sample(rng, category)
+            assert domain.category == category
+
+    def test_fakeav_files_land_on_social_engineering_domains(self, ecosystem):
+        rng = np.random.default_rng(3)
+        categories = [
+            ecosystem.sample_for_file(
+                rng, FileLabel.MALICIOUS, True, MalwareType.FAKEAV
+            ).category
+            for _ in range(300)
+        ]
+        assert categories.count(dom.FAKEAV_SOCIAL) / 300 > 0.6
+
+    def test_adware_prefers_streaming_domains(self, ecosystem):
+        rng = np.random.default_rng(4)
+        categories = [
+            ecosystem.sample_for_file(
+                rng, FileLabel.MALICIOUS, True, MalwareType.ADWARE
+            ).category
+            for _ in range(300)
+        ]
+        assert categories.count(dom.STREAMING) / 300 > 0.4
+
+    def test_benign_files_use_reputable_hosting(self, ecosystem):
+        rng = np.random.default_rng(5)
+        categories = {
+            ecosystem.sample_for_file(rng, FileLabel.BENIGN, False, None).category
+            for _ in range(300)
+        }
+        assert categories <= {dom.CORPORATE, dom.FILE_HOSTING, dom.PERSONAL}
+
+    def test_exploit_context_overrides_category(self, ecosystem):
+        rng = np.random.default_rng(6)
+        categories = {
+            ecosystem.sample_for_file(
+                rng, FileLabel.MALICIOUS, True, MalwareType.BANKER,
+                exploit_context=True,
+            ).category
+            for _ in range(100)
+        }
+        assert categories <= {dom.EXPLOIT, dom.MALWARE_DIST}
+
+    def test_popular_seeds_dominate_draws(self, ecosystem):
+        rng = np.random.default_rng(7)
+        names = [
+            ecosystem.sample(rng, dom.FILE_HOSTING).name for _ in range(500)
+        ]
+        assert names.count("softonic.com") > names.count("cdn77.net")

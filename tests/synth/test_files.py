@@ -1,0 +1,157 @@
+"""Unit tests for file minting and the prevalence-realizing pool."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.labels import FileLabel, MalwareType
+from repro.synth import calibration
+from repro.synth.domains import DomainEcosystem, FILE_HOSTING
+from repro.synth.files import EXPLOIT_PREVALENCE_MODEL, FamilyCatalog, FileFactory, FilePool
+from repro.synth.names import NameFactory
+from repro.synth.packers import PackerEcosystem
+from repro.synth.signers import SignerEcosystem
+
+
+@pytest.fixture(scope="module")
+def setup():
+    names = NameFactory(np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    signers = SignerEcosystem(np.random.default_rng(2), names, 0.02)
+    packers = PackerEcosystem(names)
+    domains = DomainEcosystem(np.random.default_rng(3), names, 0.02)
+    families = FamilyCatalog(np.random.default_rng(4), names, 0.02)
+    factory = FileFactory(rng, names, signers, packers, families)
+    return names, domains, factory
+
+
+class TestFamilyCatalog:
+    def test_seed_families_present(self, setup):
+        names = NameFactory(np.random.default_rng(9))
+        catalog = FamilyCatalog(np.random.default_rng(8), names, 0.02)
+        assert "zbot" in catalog.families
+        assert len(catalog.families) >= len(calibration.SEED_FAMILIES)
+
+    def test_undefined_type_never_gets_family(self, setup):
+        names = NameFactory(np.random.default_rng(9))
+        catalog = FamilyCatalog(np.random.default_rng(8), names, 0.02)
+        rng = np.random.default_rng(10)
+        assert all(
+            catalog.sample(rng, MalwareType.UNDEFINED) is None
+            for _ in range(50)
+        )
+
+    def test_family_fraction_for_typed_samples(self, setup):
+        names = NameFactory(np.random.default_rng(9))
+        catalog = FamilyCatalog(np.random.default_rng(8), names, 0.02)
+        rng = np.random.default_rng(11)
+        draws = [catalog.sample(rng, MalwareType.DROPPER) for _ in range(3000)]
+        none_fraction = sum(1 for d in draws if d is None) / len(draws)
+        assert none_fraction == pytest.approx(
+            calibration.FAMILY_UNLABELED_FRACTION, abs=0.04
+        )
+
+
+class TestMinting:
+    def test_minted_file_consistency(self, setup):
+        _, domains, factory = setup
+        rng = np.random.default_rng(5)
+        domain = domains.sample(rng, FILE_HOSTING)
+        file = factory.mint(
+            FileLabel.MALICIOUS, True, MalwareType.DROPPER, domain, True, 3
+        )
+        assert file.home_domain == domain.name
+        assert domain.name in file.url
+        assert file.latent_type == MalwareType.DROPPER
+        assert file.size_bytes >= 10_000
+        assert (file.ca is None) == (file.signer is None)
+
+    def test_benign_files_never_latently_malicious(self, setup):
+        _, domains, factory = setup
+        rng = np.random.default_rng(6)
+        domain = domains.sample(rng, FILE_HOSTING)
+        for _ in range(50):
+            file = factory.mint(FileLabel.BENIGN, False, None, domain, True, 1)
+            assert not file.latent_malicious
+            assert file.family is None
+
+    def test_dropper_signing_rate(self, setup):
+        _, domains, factory = setup
+        rng = np.random.default_rng(7)
+        domain = domains.sample(rng, FILE_HOSTING)
+        signed = sum(
+            factory.mint(
+                FileLabel.MALICIOUS, True, MalwareType.DROPPER, domain, True, 1
+            ).signer is not None
+            for _ in range(800)
+        )
+        assert signed / 800 == pytest.approx(
+            calibration.SIGNING_RATES[MalwareType.DROPPER].from_browsers,
+            abs=0.05,
+        )
+
+    def test_banker_rarely_signed(self, setup):
+        _, domains, factory = setup
+        rng = np.random.default_rng(8)
+        domain = domains.sample(rng, FILE_HOSTING)
+        signed = sum(
+            factory.mint(
+                FileLabel.MALICIOUS, True, MalwareType.BANKER, domain, False, 1
+            ).signer is not None
+            for _ in range(500)
+        )
+        assert signed / 500 < 0.05
+
+
+class TestFilePool:
+    def _draw_many(self, pool, count, label=FileLabel.BENIGN, channel="web"):
+        rng = np.random.default_rng(12)
+        names = NameFactory(np.random.default_rng(13))
+        domains = DomainEcosystem(np.random.default_rng(14), names, 0.01)
+        sampler = lambda: domains.sample(rng, FILE_HOSTING)
+        return [
+            pool.draw(rng, label, False, None, sampler, True, channel)
+            for _ in range(count)
+        ]
+
+    def test_mean_realized_prevalence_tracks_model(self, setup):
+        _, _, factory = setup
+        pool = FilePool(factory)
+        draws = self._draw_many(pool, 6000)
+        distinct = len({f.sha1 for f in draws})
+        realized_mean = len(draws) / distinct
+        expected = calibration.PREVALENCE_MODELS[FileLabel.BENIGN].mean
+        assert realized_mean == pytest.approx(expected, rel=0.35)
+
+    def test_realized_never_exceeds_target(self, setup):
+        _, _, factory = setup
+        pool = FilePool(factory)
+        self._draw_many(pool, 3000)
+        for file in pool.all_files.values():
+            assert file.realized_prevalence <= file.target_prevalence
+
+    def test_channels_are_isolated(self, setup):
+        _, _, factory = setup
+        pool = FilePool(factory)
+        web = {f.sha1 for f in self._draw_many(pool, 300, channel="web")}
+        update = {f.sha1 for f in self._draw_many(pool, 300, channel="update")}
+        assert not web & update
+
+    def test_unknown_files_mostly_singletons(self, setup):
+        _, _, factory = setup
+        pool = FilePool(factory)
+        draws = self._draw_many(pool, 4000, label=FileLabel.UNKNOWN)
+        distinct = len({f.sha1 for f in draws})
+        assert distinct / len(draws) > 0.8
+
+    def test_invalid_channel_rejected(self, setup):
+        _, _, factory = setup
+        pool = FilePool(factory)
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError, match="unknown channel"):
+            pool.draw(rng, FileLabel.BENIGN, False, None, lambda: None, True,
+                      channel="bogus")
+
+    def test_exploit_model_fatter_than_unknown(self):
+        assert EXPLOIT_PREVALENCE_MODEL.mean > (
+            calibration.PREVALENCE_MODELS[FileLabel.UNKNOWN].mean
+        )

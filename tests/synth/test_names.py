@@ -1,0 +1,62 @@
+"""Unit tests for the name/identifier generators."""
+
+import numpy as np
+
+from repro.synth.names import NameFactory
+
+
+def _factory(seed=0):
+    return NameFactory(np.random.default_rng(seed))
+
+
+class TestSha1:
+    def test_unique_and_well_formed(self):
+        factory = _factory()
+        hashes = [factory.sha1() for _ in range(5000)]
+        assert len(set(hashes)) == 5000
+        assert all(len(h) == 40 for h in hashes)
+        assert all(all(c in "0123456789abcdef" for c in h) for h in hashes)
+
+    def test_deterministic_given_seed(self):
+        assert [_factory(3).sha1() for _ in range(5)] == [
+            _factory(3).sha1() for _ in range(5)
+        ]
+
+
+class TestNames:
+    def test_domain_names_unique(self):
+        factory = _factory()
+        names = [factory.domain_name() for _ in range(500)]
+        assert len(set(names)) == 500
+        assert all("." in name for name in names)
+
+    def test_domain_suffix_hint(self):
+        factory = _factory()
+        assert factory.domain_name("pw").endswith(".pw")
+
+    def test_company_names_unique(self):
+        factory = _factory()
+        names = [factory.company_name() for _ in range(300)]
+        assert len(set(names)) == 300
+
+    def test_family_names_lowercase(self):
+        factory = _factory()
+        names = [factory.family_name() for _ in range(200)]
+        assert len(set(names)) == 200
+        assert all(name == name.lower() and len(name) >= 4 for name in names)
+
+    def test_machine_id_format(self):
+        assert _factory().machine_id(12) == "M00000012"
+
+    def test_file_names_are_executables(self):
+        factory = _factory()
+        assert all(
+            factory.file_name().endswith(".exe") for _ in range(50)
+        )
+
+    def test_url_contains_domain_and_file(self):
+        factory = _factory()
+        url = factory.url("mediafire.com", "setup_1.exe")
+        assert "mediafire.com" in url
+        assert url.endswith("setup_1.exe")
+        assert url.startswith("http://")

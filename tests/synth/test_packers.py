@@ -1,0 +1,80 @@
+"""Unit tests for the packer ecosystem."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.labels import FileLabel
+from repro.synth import calibration
+from repro.synth.names import NameFactory
+from repro.synth.packers import PackerEcosystem
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return PackerEcosystem(NameFactory(np.random.default_rng(0)))
+
+
+class TestPools:
+    def test_total_packer_count_matches_paper(self, ecosystem):
+        assert len(ecosystem.all_packers) == calibration.TOTAL_PACKERS
+
+    def test_shared_pool_size_matches_paper(self, ecosystem):
+        assert len(ecosystem.shared) == calibration.SHARED_PACKERS_COUNT
+
+    def test_seed_packers_present(self, ecosystem):
+        assert "INNO" in ecosystem.shared
+        assert "UPX" in ecosystem.shared
+        assert "Themida" in ecosystem.malicious_exclusive
+
+    def test_pools_disjoint(self, ecosystem):
+        shared = set(ecosystem.shared)
+        assert not shared & set(ecosystem.malicious_exclusive)
+        assert not shared & set(ecosystem.benign_exclusive)
+        assert not set(ecosystem.malicious_exclusive) & set(
+            ecosystem.benign_exclusive
+        )
+
+
+class TestSampling:
+    def test_packed_rates_approximate_paper(self, ecosystem):
+        rng = np.random.default_rng(1)
+        benign_packed = sum(
+            ecosystem.sample(rng, FileLabel.BENIGN, False) is not None
+            for _ in range(4000)
+        )
+        malicious_packed = sum(
+            ecosystem.sample(rng, FileLabel.MALICIOUS, True) is not None
+            for _ in range(4000)
+        )
+        assert benign_packed / 4000 == pytest.approx(
+            calibration.BENIGN_PACKED_RATE, abs=0.03
+        )
+        assert malicious_packed / 4000 == pytest.approx(
+            calibration.MALICIOUS_PACKED_RATE, abs=0.03
+        )
+
+    def test_benign_files_never_use_malicious_packers(self, ecosystem):
+        rng = np.random.default_rng(2)
+        malicious_only = set(ecosystem.malicious_exclusive)
+        for _ in range(2000):
+            packer = ecosystem.sample(rng, FileLabel.BENIGN, False)
+            assert packer not in malicious_only
+
+    def test_malicious_files_never_use_benign_packers(self, ecosystem):
+        rng = np.random.default_rng(3)
+        benign_only = set(ecosystem.benign_exclusive)
+        for _ in range(2000):
+            packer = ecosystem.sample(rng, FileLabel.MALICIOUS, True)
+            assert packer not in benign_only
+
+    def test_shared_packers_dominate(self, ecosystem):
+        rng = np.random.default_rng(4)
+        packers = [
+            ecosystem.sample(rng, FileLabel.MALICIOUS, True)
+            for _ in range(3000)
+        ]
+        packed = [p for p in packers if p is not None]
+        shared_fraction = sum(
+            1 for p in packed if p in set(ecosystem.shared)
+        ) / len(packed)
+        assert shared_fraction > 0.7

@@ -1,0 +1,89 @@
+"""Unit tests for the signer ecosystem."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.labels import MalwareType
+from repro.synth import calibration
+from repro.synth.names import NameFactory
+from repro.synth.signers import SignerEcosystem
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    rng = np.random.default_rng(1)
+    return SignerEcosystem(rng, NameFactory(np.random.default_rng(2)), 0.02)
+
+
+class TestPools:
+    def test_seed_signers_present(self, ecosystem):
+        assert "Somoto Ltd." in ecosystem.malicious_exclusive
+        assert "TeamViewer" in ecosystem.benign_exclusive
+        assert "Binstall" in ecosystem.shared
+
+    def test_pools_disjoint_between_benign_and_malicious(self, ecosystem):
+        assert not set(ecosystem.malicious_exclusive) & set(
+            ecosystem.benign_exclusive
+        )
+
+    def test_every_signer_has_a_ca(self, ecosystem):
+        for pool in (
+            ecosystem.malicious_exclusive,
+            ecosystem.benign_exclusive,
+            ecosystem.shared,
+            ecosystem.neutral,
+        ):
+            for signer in pool:
+                assert ecosystem.ca_of(signer) in calibration.SEED_CAS
+
+    def test_pool_sizes_scale_sublinearly(self):
+        rng = np.random.default_rng(1)
+        small = SignerEcosystem(rng, NameFactory(np.random.default_rng(2)), 0.01)
+        rng = np.random.default_rng(1)
+        large = SignerEcosystem(rng, NameFactory(np.random.default_rng(2)), 0.2)
+        assert len(large.malicious_exclusive) > len(small.malicious_exclusive)
+
+
+class TestSampling:
+    def test_malicious_sample_from_known_pools(self, ecosystem):
+        rng = np.random.default_rng(3)
+        allowed = set(ecosystem.malicious_exclusive) | set(ecosystem.shared)
+        for mtype in MalwareType:
+            signer, ca = ecosystem.sample_malicious(rng, mtype)
+            assert signer in allowed
+            assert ca == ecosystem.ca_of(signer)
+
+    def test_type_seed_signers_dominate_their_type(self, ecosystem):
+        rng = np.random.default_rng(4)
+        draws = [
+            ecosystem.sample_malicious(rng, MalwareType.PUP)[0]
+            for _ in range(500)
+        ]
+        seeds = set(calibration.TYPE_SEED_SIGNERS[MalwareType.PUP])
+        seed_fraction = sum(1 for s in draws if s in seeds) / len(draws)
+        assert seed_fraction > 0.3
+
+    def test_benign_sample_excludes_malicious_exclusive(self, ecosystem):
+        rng = np.random.default_rng(5)
+        malicious_only = set(ecosystem.malicious_exclusive)
+        for _ in range(300):
+            signer, _ = ecosystem.sample_benign(rng)
+            assert signer not in malicious_only
+
+    def test_unknown_latent_malicious_reuses_malicious_signers(self, ecosystem):
+        rng = np.random.default_rng(6)
+        informative = set(ecosystem.malicious_exclusive) | set(ecosystem.shared)
+        draws = [
+            ecosystem.sample_unknown(rng, True, MalwareType.DROPPER)[0]
+            for _ in range(400)
+        ]
+        fraction = sum(1 for s in draws if s in informative) / len(draws)
+        assert 0.35 < fraction < 0.75  # ~_UNKNOWN_INFORMATIVE_PROB
+
+    def test_unknown_gray_uses_benign_or_neutral(self, ecosystem):
+        rng = np.random.default_rng(7)
+        malicious_only = set(ecosystem.malicious_exclusive)
+        draws = [
+            ecosystem.sample_unknown(rng, False, None)[0] for _ in range(300)
+        ]
+        assert not any(signer in malicious_only for signer in draws)

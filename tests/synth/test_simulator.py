@@ -1,0 +1,111 @@
+"""Direct unit tests of the event simulator's mechanisms."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.labeling.labels import FileLabel, MalwareType
+from repro.synth import calibration
+from repro.synth.behavior import MachineFactory, ProcessEcosystem
+from repro.synth.domains import DomainEcosystem
+from repro.synth.files import FamilyCatalog, FileFactory, FilePool
+from repro.synth.names import NameFactory
+from repro.synth.packers import PackerEcosystem
+from repro.synth.signers import SignerEcosystem
+from repro.synth.simulator import Simulator
+from repro.synth.world import World, WorldConfig
+from repro.telemetry.events import COLLECTION_DAYS
+
+
+def _build_simulator(seed=0, machine_count=400, unknown_latent=0.45):
+    seeds = np.random.SeedSequence(seed).spawn(8)
+    rngs = [np.random.default_rng(s) for s in seeds]
+    names = NameFactory(rngs[0])
+    signers = SignerEcosystem(rngs[1], names, 0.01)
+    packers = PackerEcosystem(names)
+    domains = DomainEcosystem(rngs[2], names, 0.01)
+    families = FamilyCatalog(rngs[3], names, 0.01)
+    factory = FileFactory(rngs[5], names, signers, packers, families)
+    pool = FilePool(factory)
+    machines = list(MachineFactory(rngs[6], names).generate(machine_count))
+    processes = ProcessEcosystem(rngs[4], names, 0.01)
+    return Simulator(
+        rngs[7], machines, processes, domains, pool,
+        unknown_latent_malicious=unknown_latent,
+    )
+
+
+class TestSimulatorMechanics:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return _build_simulator().run()
+
+    def test_every_machine_produces_events(self, corpus):
+        active = {event.machine_id for event in corpus.events}
+        assert len(active) == len(corpus.machines)
+
+    def test_timestamps_within_collection_window(self, corpus):
+        for event in corpus.events:
+            assert 0.0 <= event.timestamp < COLLECTION_DAYS
+
+    def test_chain_events_initiated_by_executed_files(self, corpus):
+        benign = set(corpus.benign_processes)
+        for event in corpus.events:
+            if event.process_sha1 not in benign:
+                assert event.process_sha1 in corpus.spawned_process_shas
+                assert event.process_sha1 in corpus.files
+
+    def test_chain_follows_its_source_in_time(self, corpus):
+        first_download = {}
+        for event in corpus.events:  # already time-sorted
+            first_download.setdefault(event.file_sha1, event.timestamp)
+        for event in corpus.events:
+            if event.process_sha1 in corpus.spawned_process_shas:
+                assert (
+                    event.timestamp >= first_download[event.process_sha1]
+                ), "a file acted as a process before it was downloaded"
+
+    def test_unexecuted_events_exist_in_raw_corpus(self, corpus):
+        executed = Counter(event.executed for event in corpus.events)
+        assert executed[False] > 0
+        assert executed[True] > executed[False]
+
+    def test_labels_consistent_with_latency(self, corpus):
+        for file in corpus.files.values():
+            if file.observed_class == FileLabel.MALICIOUS:
+                assert file.latent_malicious
+            if file.observed_class == FileLabel.BENIGN:
+                assert not file.latent_malicious
+
+
+class TestUnknownLatentKnob:
+    def test_fraction_respected(self):
+        low = _build_simulator(seed=3, unknown_latent=0.1).run()
+        high = _build_simulator(seed=3, unknown_latent=0.9).run()
+
+        def latent_share(corpus):
+            unknowns = [
+                f for f in corpus.files.values()
+                if f.observed_class == FileLabel.UNKNOWN
+            ]
+            return sum(f.latent_malicious for f in unknowns) / len(unknowns)
+
+        assert latent_share(low) < 0.25
+        assert latent_share(high) > 0.75
+
+    def test_world_config_validation(self):
+        with pytest.raises(ValueError):
+            WorldConfig(unknown_latent_malicious_fraction=1.5)
+
+    def test_world_threads_the_knob(self):
+        world = World(
+            WorldConfig(seed=5, scale=0.002,
+                        unknown_latent_malicious_fraction=0.05)
+        )
+        unknowns = [
+            f for f in world.corpus.files.values()
+            if f.observed_class == FileLabel.UNKNOWN
+        ]
+        share = sum(f.latent_malicious for f in unknowns) / len(unknowns)
+        assert share < 0.15

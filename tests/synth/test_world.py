@@ -1,0 +1,118 @@
+"""Integration tests: the generated world matches the paper's shape."""
+
+from collections import Counter
+
+import pytest
+
+from repro.labeling.labels import FileLabel
+from repro.synth import World, WorldConfig, generate_corpus, generate_dataset
+
+
+class TestWorldConfig:
+    def test_defaults(self):
+        config = WorldConfig()
+        assert config.sigma == 20
+        assert config.machine_count > 0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            WorldConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            WorldConfig(scale=1.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            WorldConfig(sigma=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        first = generate_corpus(WorldConfig(seed=5, scale=0.002))
+        second = generate_corpus(WorldConfig(seed=5, scale=0.002))
+        assert len(first.events) == len(second.events)
+        assert [e.file_sha1 for e in first.events[:50]] == [
+            e.file_sha1 for e in second.events[:50]
+        ]
+
+    def test_different_seed_different_corpus(self):
+        first = generate_corpus(WorldConfig(seed=5, scale=0.002))
+        second = generate_corpus(WorldConfig(seed=6, scale=0.002))
+        assert [e.file_sha1 for e in first.events[:50]] != [
+            e.file_sha1 for e in second.events[:50]
+        ]
+
+
+class TestStructure:
+    def test_raw_events_sorted(self, small_session):
+        events = small_session.world.corpus.events
+        assert all(
+            events[i].timestamp <= events[i + 1].timestamp
+            for i in range(len(events) - 1)
+        )
+
+    def test_reported_events_all_executed(self, small_session):
+        assert all(event.executed for event in small_session.dataset.events)
+
+    def test_spawned_processes_are_files(self, small_session):
+        corpus = small_session.world.corpus
+        for sha in list(corpus.spawned_process_shas)[:200]:
+            assert sha in corpus.files
+
+    def test_every_event_process_known(self, small_session):
+        corpus = small_session.world.corpus
+        known = set(corpus.benign_processes) | corpus.spawned_process_shas
+        assert all(e.process_sha1 in known for e in corpus.events)
+
+
+class TestCalibrationBands:
+    """The paper's headline dataset shape, with generous tolerances."""
+
+    @pytest.fixture(scope="class")
+    def observed(self, medium_session):
+        world = medium_session.world
+        dataset = medium_session.dataset
+        classes = Counter(
+            world.corpus.files[sha].observed_class for sha in dataset.files
+        )
+        total = sum(classes.values())
+        prevalence = Counter(dataset.file_prevalence.values())
+        unknown_machines = {
+            event.machine_id
+            for event in dataset.events
+            if world.corpus.files[event.file_sha1].observed_class
+            == FileLabel.UNKNOWN
+        }
+        return {
+            "fractions": {
+                label: classes[label] / total for label in FileLabel
+            },
+            "single_prev": prevalence[1] / len(dataset.file_prevalence),
+            "machines_with_unknown": (
+                len(unknown_machines) / len(dataset.machine_ids)
+            ),
+            "events_per_machine": len(dataset.events) / len(dataset.machine_ids),
+        }
+
+    def test_unknown_fraction_near_83pct(self, observed):
+        assert 0.75 <= observed["fractions"][FileLabel.UNKNOWN] <= 0.88
+
+    def test_malicious_fraction_near_10pct(self, observed):
+        assert 0.06 <= observed["fractions"][FileLabel.MALICIOUS] <= 0.15
+
+    def test_benign_fraction_small(self, observed):
+        assert 0.01 <= observed["fractions"][FileLabel.BENIGN] <= 0.07
+
+    def test_single_machine_prevalence_near_90pct(self, observed):
+        assert 0.82 <= observed["single_prev"] <= 0.95
+
+    def test_machines_with_unknown_near_69pct(self, observed):
+        assert 0.60 <= observed["machines_with_unknown"] <= 0.85
+
+    def test_events_per_machine_near_2_7(self, observed):
+        assert 2.0 <= observed["events_per_machine"] <= 3.8
+
+    def test_monthly_machine_counts_decline(self, medium_session):
+        by_month = medium_session.dataset.events_by_month
+        machines = [len({e.machine_id for e in bucket}) for bucket in by_month]
+        assert machines[0] > machines[-1]
+        assert all(count > 0 for count in machines)

@@ -1,0 +1,62 @@
+"""Unit tests for the software agent's reporting filters."""
+
+import pytest
+
+from repro.telemetry.agent import (
+    DEFAULT_SIGMA,
+    DEFAULT_URL_WHITELIST,
+    ReportingPolicy,
+    SoftwareAgent,
+)
+from repro.telemetry.events import DownloadEvent
+
+
+def _event(url="http://dl.example.com/f.exe", executed=True):
+    return DownloadEvent(
+        file_sha1="a" * 40,
+        machine_id="M1",
+        process_sha1="b" * 40,
+        url=url,
+        timestamp=1.0,
+        executed=executed,
+    )
+
+
+class TestReportingPolicy:
+    def test_defaults(self):
+        policy = ReportingPolicy()
+        assert policy.sigma == DEFAULT_SIGMA == 20
+        assert policy.require_executed
+        assert "microsoft.com" in policy.url_whitelist
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ReportingPolicy(sigma=0)
+
+
+class TestSoftwareAgent:
+    def test_normal_event_passes(self):
+        agent = SoftwareAgent()
+        assert agent.should_report(_event())
+        assert agent.filter_reason(_event()) is None
+
+    def test_not_executed_filtered(self):
+        agent = SoftwareAgent()
+        event = _event(executed=False)
+        assert not agent.should_report(event)
+        assert agent.filter_reason(event) == "not_executed"
+
+    def test_whitelisted_url_filtered(self):
+        agent = SoftwareAgent()
+        for domain in sorted(DEFAULT_URL_WHITELIST)[:3]:
+            event = _event(url=f"http://updates.{domain}/x.exe")
+            assert agent.filter_reason(event) == "whitelisted_url"
+
+    def test_whitelist_matches_e2ld_not_substring(self):
+        agent = SoftwareAgent()
+        event = _event(url="http://notmicrosoft.com.example.biz/x.exe")
+        assert agent.should_report(event)
+
+    def test_executed_filter_can_be_disabled(self):
+        agent = SoftwareAgent(ReportingPolicy(require_executed=False))
+        assert agent.should_report(_event(executed=False))

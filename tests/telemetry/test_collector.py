@@ -1,0 +1,102 @@
+"""Unit tests for the collection server and the sigma prevalence filter."""
+
+import pytest
+
+from repro.telemetry.agent import ReportingPolicy
+from repro.telemetry.collector import CollectionServer, collect
+from repro.telemetry.events import DownloadEvent, FileRecord, ProcessRecord
+
+FILE = "f" * 40
+PROC = "p" * 40
+
+
+def _tables(extra_files=()):
+    files = {FILE: FileRecord(FILE, "a.exe", 100)}
+    for sha in extra_files:
+        files[sha] = FileRecord(sha, "b.exe", 100)
+    return files, {PROC: ProcessRecord(PROC, "chrome.exe")}
+
+
+def _event(machine, t, file_sha=FILE, executed=True, url=None):
+    return DownloadEvent(
+        file_sha1=file_sha,
+        machine_id=machine,
+        process_sha1=PROC,
+        url=url or "http://dl.example.net/f.exe",
+        timestamp=t,
+        executed=executed,
+    )
+
+
+class TestSigmaFilter:
+    def test_reports_until_sigma_distinct_machines(self):
+        server = CollectionServer(ReportingPolicy(sigma=3))
+        accepted = [
+            server.submit(_event(f"M{i}", float(i))) for i in range(5)
+        ]
+        assert accepted == [True, True, True, False, False]
+        assert server.stats.over_sigma == 2
+
+    def test_known_machine_can_rereport_after_cap(self):
+        server = CollectionServer(ReportingPolicy(sigma=2))
+        assert server.submit(_event("M0", 0.0))
+        assert server.submit(_event("M1", 1.0))
+        assert not server.submit(_event("M2", 2.0))
+        # M0 already counts toward prevalence; its repeat is reported.
+        assert server.submit(_event("M0", 3.0))
+
+    def test_sigma_is_per_file(self):
+        other = "e" * 40
+        files, procs = _tables(extra_files=[other])
+        server = CollectionServer(ReportingPolicy(sigma=1))
+        assert server.submit(_event("M0", 0.0))
+        assert not server.submit(_event("M1", 1.0))
+        assert server.submit(_event("M1", 2.0, file_sha=other))
+        dataset = server.dataset(files, procs)
+        assert dataset.file_prevalence == {FILE: 1, other: 1}
+
+
+class TestOrderingAndStats:
+    def test_out_of_order_submission_rejected(self):
+        server = CollectionServer()
+        server.submit(_event("M0", 5.0))
+        with pytest.raises(ValueError):
+            server.submit(_event("M1", 4.0))
+
+    def test_stats_account_for_every_event(self):
+        files, procs = _tables()
+        events = [
+            _event("M0", 0.0),
+            _event("M1", 1.0, executed=False),
+            _event("M2", 2.0, url="http://dl.microsoft.com/up.exe"),
+            _event("M3", 3.0),
+        ]
+        dataset, stats = collect(events, files, procs)
+        assert stats.observed == 4
+        assert stats.reported == 2
+        assert stats.not_executed == 1
+        assert stats.whitelisted_url == 1
+        assert stats.dropped == 2
+        assert len(dataset) == 2
+        assert stats.as_dict()["reported"] == 2
+
+    def test_dataset_tables_narrowed_to_reported(self):
+        unused = "d" * 40
+        files, procs = _tables(extra_files=[unused])
+        dataset, _ = collect([_event("M0", 0.0)], files, procs)
+        assert set(dataset.files) == {FILE}
+
+
+class TestCollectorOnWorld:
+    def test_prevalence_never_exceeds_sigma(self, medium_session):
+        sigma = medium_session.config.sigma
+        prevalence = medium_session.dataset.file_prevalence
+        assert max(prevalence.values()) <= sigma
+
+    def test_filter_stats_recorded(self, medium_session):
+        stats = medium_session.world.filter_stats
+        assert stats is not None
+        assert stats.not_executed > 0
+        assert stats.whitelisted_url > 0
+        assert stats.over_sigma > 0
+        assert stats.reported == len(medium_session.dataset.events)

@@ -1,0 +1,95 @@
+"""Unit tests for TelemetryDataset indexes and slicing."""
+
+import pytest
+
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.events import DownloadEvent, FileRecord, ProcessRecord
+
+F1, F2 = "1" * 40, "2" * 40
+P1 = "p" * 40
+
+
+def _build(events):
+    files = {sha: FileRecord(sha, "x.exe", 10) for sha in {e.file_sha1 for e in events}}
+    procs = {P1: ProcessRecord(P1, "chrome.exe")}
+    return TelemetryDataset(events, files, procs)
+
+
+def _event(file_sha, machine, t):
+    return DownloadEvent(file_sha, machine, P1, "http://d.example.com/f", t)
+
+
+class TestIndexes:
+    def test_events_sorted_by_time(self):
+        dataset = _build([_event(F1, "M0", 5.0), _event(F2, "M1", 1.0)])
+        times = [event.timestamp for event in dataset.events]
+        assert times == sorted(times)
+
+    def test_prevalence_counts_distinct_machines(self):
+        dataset = _build(
+            [
+                _event(F1, "M0", 0.0),
+                _event(F1, "M0", 1.0),  # repeat download, same machine
+                _event(F1, "M1", 2.0),
+                _event(F2, "M0", 3.0),
+            ]
+        )
+        assert dataset.file_prevalence == {F1: 2, F2: 1}
+        assert dataset.machines_for_file[F1] == {"M0", "M1"}
+
+    def test_events_by_month_buckets(self):
+        dataset = _build([_event(F1, "M0", 0.5), _event(F2, "M1", 40.0)])
+        assert len(dataset.events_by_month[0]) == 1
+        assert len(dataset.events_by_month[1]) == 1
+        assert sum(len(bucket) for bucket in dataset.events_by_month) == 2
+
+    def test_machine_timelines_sorted(self):
+        dataset = _build(
+            [_event(F1, "M0", 9.0), _event(F2, "M0", 2.0)]
+        )
+        timeline = dataset.events_by_machine["M0"]
+        assert [e.timestamp for e in timeline] == [2.0, 9.0]
+
+    def test_missing_file_metadata_rejected(self):
+        events = [_event(F1, "M0", 0.0)]
+        with pytest.raises(ValueError, match="file hashes missing"):
+            TelemetryDataset(events, {}, {P1: ProcessRecord(P1, "x.exe")})
+
+    def test_missing_process_metadata_rejected(self):
+        events = [_event(F1, "M0", 0.0)]
+        with pytest.raises(ValueError, match="process hashes missing"):
+            TelemetryDataset(
+                events, {F1: FileRecord(F1, "x.exe", 10)}, {}
+            )
+
+
+class TestSlicing:
+    def test_month_slice_restricts_events_and_tables(self):
+        dataset = _build([_event(F1, "M0", 0.5), _event(F2, "M1", 40.0)])
+        january = dataset.month_slice(0)
+        assert len(january) == 1
+        assert set(january.files) == {F1}
+
+    def test_months_slice_union(self):
+        dataset = _build(
+            [_event(F1, "M0", 0.5), _event(F2, "M1", 40.0),
+             _event(F2, "M2", 100.0)]
+        )
+        both = dataset.months_slice([0, 1])
+        assert len(both) == 2
+
+    def test_first_event_for_file(self):
+        dataset = _build([_event(F1, "M0", 7.0), _event(F1, "M1", 3.0)])
+        assert dataset.first_event_for_file(F1).timestamp == 3.0
+
+
+class TestOnWorld:
+    def test_every_event_has_metadata(self, small_session):
+        dataset = small_session.dataset
+        for event in dataset.events[:500]:
+            assert event.file_sha1 in dataset.files
+            assert event.process_sha1 in dataset.processes
+
+    def test_repr_mentions_sizes(self, small_session):
+        text = repr(small_session.dataset)
+        assert "events=" in text and "machines=" in text

@@ -1,0 +1,57 @@
+"""Tests for dataset JSONL serialization."""
+
+import pytest
+
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.events import DownloadEvent, FileRecord, ProcessRecord
+from repro.telemetry.io import load_dataset, save_dataset
+
+F1 = "1" * 40
+P1 = "p" * 40
+
+
+def _dataset():
+    events = [
+        DownloadEvent(F1, "M0", P1, "http://dl.example.com/a.exe", 1.5),
+        DownloadEvent(F1, "M1", P1, "http://dl.example.com/a.exe", 2.5,
+                      executed=True),
+    ]
+    files = {F1: FileRecord(F1, "a.exe", 1234, signer="S", ca="C",
+                            packer="UPX")}
+    processes = {P1: ProcessRecord(P1, "chrome.exe", signer="Google Inc")}
+    return TelemetryDataset(events, files, processes)
+
+
+class TestRoundTrip:
+    def test_save_and_load_identity(self, tmp_path):
+        original = _dataset()
+        save_dataset(original, tmp_path / "corpus")
+        reloaded = load_dataset(tmp_path / "corpus")
+        assert len(reloaded) == len(original)
+        assert reloaded.files == original.files
+        assert reloaded.processes == original.processes
+        assert list(reloaded.events) == list(original.events)
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "dir"
+        save_dataset(_dataset(), target)
+        assert (target / "events.jsonl").exists()
+
+    def test_overwrite_existing_export(self, tmp_path):
+        directory = tmp_path / "corpus"
+        save_dataset(_dataset(), directory)
+        save_dataset(_dataset(), directory)  # no error, same content
+        assert len(load_dataset(directory)) == 2
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_world_round_trip(self, small_session, tmp_path):
+        save_dataset(small_session.dataset, tmp_path / "world")
+        reloaded = load_dataset(tmp_path / "world")
+        assert len(reloaded) == len(small_session.dataset)
+        assert reloaded.file_prevalence == (
+            small_session.dataset.file_prevalence
+        )
+        assert reloaded.machine_ids == small_session.dataset.machine_ids

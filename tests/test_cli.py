@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.io import load_dataset
+
+SCALE = ["--scale", "0.002", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["rules"])
+        assert args.seed == 7
+        assert args.train_month == 0
+        assert args.tau == 0.001
+
+
+class TestGenerate:
+    def test_exports_corpus_and_labels(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        assert main(["generate", *SCALE, "--out", str(out)]) == 0
+        dataset = load_dataset(out)
+        assert len(dataset) > 500
+        labels = [
+            json.loads(line)
+            for line in (out / "labels.jsonl").read_text().splitlines()
+        ]
+        assert len(labels) == len(dataset.files)
+        assert {entry["label"] for entry in labels} >= {"unknown", "malicious"}
+
+
+class TestReport:
+    def test_single_experiment(self, capsys):
+        assert main(["report", *SCALE, "--experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+
+    def test_alexa_experiment(self, capsys):
+        assert main(["report", *SCALE, "--experiment", "fig6"]) == 0
+        assert "Alexa" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["report", *SCALE, "--experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRules:
+    def test_prints_rules(self, capsys):
+        assert main(["rules", *SCALE, "--train-month", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "IF (" in output
+        assert "-> file is" in output
+
+    def test_min_coverage_reduces_rules(self, capsys):
+        main(["rules", *SCALE, "--min-coverage", "1"])
+        loose = capsys.readouterr().out.count("IF (")
+        main(["rules", *SCALE, "--min-coverage", "5"])
+        strict = capsys.readouterr().out.count("IF (")
+        assert strict <= loose
+
+
+class TestAvtype:
+    def test_jsonl_round_trip(self, tmp_path, capsys):
+        source = tmp_path / "detections.jsonl"
+        source.write_text(
+            '{"sha1": "aa", "detections": '
+            '{"Symantec": "Ransom.Cryptolocker"}}\n'
+            '{"sha1": "bb", "detections": {"McAfee": "Artemis!00"}}\n'
+        )
+        assert main(["avtype", str(source)]) == 0
+        out_lines = capsys.readouterr().out.splitlines()
+        assert json.loads(out_lines[0])["type"] == "ransomware"
+        assert json.loads(out_lines[1])["type"] == "undefined"
+
+    def test_malformed_json_rejected(self, tmp_path, capsys):
+        source = tmp_path / "bad.jsonl"
+        source.write_text("{not json}\n")
+        assert main(["avtype", str(source)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestReportCsv:
+    def test_csv_export_flag(self, tmp_path, capsys):
+        csv_dir = tmp_path / "figures"
+        assert main(
+            ["report", *SCALE, "--experiment", "table2",
+             "--csv-dir", str(csv_dir)]
+        ) == 0
+        assert (csv_dir / "fig5_infection_timing.csv").exists()
+
+
+class TestEvaluate:
+    def test_writes_tables(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        assert main(
+            ["evaluate", *SCALE, "--tau", "0.001", "--out", str(out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Table XVI" in output and "Table XVII" in output
+        assert (out / "table_xvi.txt").exists()
+        assert (out / "table_xvii.txt").exists()

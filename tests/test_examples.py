@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs end to end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), "0.002"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_expected_example_set():
+    assert EXAMPLES == [
+        "domain_reputation.py",
+        "infection_chains.py",
+        "label_expansion.py",
+        "online_deployment.py",
+        "quickstart.py",
+        "related_work.py",
+    ]

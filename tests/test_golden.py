@@ -1,0 +1,38 @@
+"""Golden regression numbers for the deterministic medium session.
+
+These pin the exact output of the (seed=7, scale=0.01) world so that
+unintended changes to the generator, filters or labeling policy are
+caught immediately.  If a change to the synthetic world is *intentional*,
+update the constants here and re-check the calibration bands in
+``tests/synth/test_world.py`` and EXPERIMENTS.md.
+"""
+
+from repro import FileLabel
+
+GOLDEN = {
+    "events": 34_548,
+    "files": 23_214,
+    "processes": 1_954,
+    "machines": 11_072,
+    "labels": {
+        FileLabel.BENIGN: 852,
+        FileLabel.LIKELY_BENIGN: 574,
+        FileLabel.MALICIOUS: 2_576,
+        FileLabel.LIKELY_MALICIOUS: 470,
+        FileLabel.UNKNOWN: 18_742,
+    },
+}
+
+
+class TestGoldenNumbers:
+    def test_dataset_shape(self, medium_session):
+        dataset = medium_session.dataset
+        assert len(dataset.events) == GOLDEN["events"]
+        assert len(dataset.files) == GOLDEN["files"]
+        assert len(dataset.processes) == GOLDEN["processes"]
+        assert len(dataset.machine_ids) == GOLDEN["machines"]
+
+    def test_label_counts(self, medium_session):
+        counts = medium_session.labeled.label_counts()
+        for label, expected in GOLDEN["labels"].items():
+            assert counts[label] == expected, label

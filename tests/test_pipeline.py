@@ -1,0 +1,37 @@
+"""Tests for the one-call session pipeline."""
+
+from repro import Session, WorldConfig, build_session
+from repro.labeling.whitelists import AlexaService
+
+
+class TestBuildSession:
+    def test_components_wired(self, small_session):
+        assert isinstance(small_session, Session)
+        assert small_session.dataset is small_session.labeled.dataset
+        assert isinstance(small_session.alexa, AlexaService)
+        assert small_session.world.filter_stats is not None
+
+    def test_default_config(self):
+        session = build_session(WorldConfig(seed=1, scale=0.001))
+        assert session.config.seed == 1
+        assert len(session.dataset.events) > 100
+
+    def test_labeler_consistent_with_labeled(self, small_session):
+        # Re-querying the labeler for an already-labeled hash agrees.
+        some = list(small_session.labeled.file_labels.items())[:50]
+        for sha, label in some:
+            assert small_session.labeler.label_hash(sha) == label
+
+    def test_alexa_covers_ranked_world_domains(self, small_session):
+        ranked = [
+            d for d in small_session.world.corpus.domains
+            if d.alexa_rank is not None
+        ]
+        for domain in ranked[:100]:
+            assert small_session.alexa.rank(domain.name) == domain.alexa_rank
+
+    def test_sessions_reproducible(self):
+        first = build_session(WorldConfig(seed=9, scale=0.001))
+        second = build_session(WorldConfig(seed=9, scale=0.001))
+        assert first.labeled.label_counts() == second.labeled.label_counts()
+        assert len(first.dataset.events) == len(second.dataset.events)
