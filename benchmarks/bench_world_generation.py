@@ -1,20 +1,57 @@
-"""Throughput of the synthetic world generator and labeling pipeline."""
+"""Throughput of the synthetic world generator and labeling pipeline.
+
+Three generation variants are measured:
+
+* **cold** -- full sequential generation, cache bypassed: the baseline
+  the parallel engine and the samplers are optimized against;
+* **parallel** -- same world, shards fanned out over worker processes
+  (identical output by construction; see ``repro/synth/engine.py``);
+* **cached** -- the session-level world cache path most callers
+  (benchmarks, tests, repeated ``build_session`` calls) actually hit.
+"""
 
 from repro import WorldConfig, build_session
 from repro.synth import World
+from repro.synth.cache import clear_world_cache, get_world
 
 
 def test_world_generation(benchmark):
+    """Cold sequential generation + collection (no cache)."""
     config = WorldConfig(seed=3, scale=0.002)
 
     def generate():
-        return World(config).collect()
+        return World(config, jobs=1).collect()
+
+    dataset = benchmark(generate)
+    assert len(dataset.events) > 1000
+
+
+def test_world_generation_parallel(benchmark):
+    """Cold generation with the sharded process-pool path (jobs=4)."""
+    config = WorldConfig(seed=3, scale=0.002)
+
+    def generate():
+        return World(config, jobs=4).collect()
+
+    dataset = benchmark(generate)
+    assert len(dataset.events) > 1000
+
+
+def test_world_generation_cached(benchmark):
+    """The cache-hit path: what repeat build_session callers pay."""
+    config = WorldConfig(seed=3, scale=0.002)
+    clear_world_cache()
+    get_world(config)  # warm the session-level cache once
+
+    def generate():
+        return get_world(config).collect()
 
     dataset = benchmark(generate)
     assert len(dataset.events) > 1000
 
 
 def test_full_pipeline(benchmark):
+    """Generation + collection + labeling, cache bypassed."""
     config = WorldConfig(seed=3, scale=0.002)
-    session = benchmark(build_session, config)
+    session = benchmark(build_session, config, cache=False)
     assert session.labeled.file_labels

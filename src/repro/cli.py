@@ -59,17 +59,28 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7,
                         help="world seed (default 7)")
     parser.add_argument("--scale", type=float, default=0.01,
-                        help="corpus scale relative to the paper (default 0.01)")
+                        help="corpus scale relative to the paper (default "
+                             "0.01; values > 1 oversample the paper)")
+    parser.add_argument("--shards", type=int, default=8,
+                        help="deterministic generation shards; part of the "
+                             "world's identity (default 8)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for generation (default: one "
+                             "per CPU core, capped at --shards); does not "
+                             "affect the generated world")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the world/session cache and always "
+                             "regenerate")
 
 
 def _session(args: argparse.Namespace) -> Session:
-    config = WorldConfig(seed=args.seed, scale=args.scale)
+    config = WorldConfig(seed=args.seed, scale=args.scale, shards=args.shards)
     print(
         f"building synthetic world (seed={config.seed}, "
-        f"scale={config.scale}) ...",
+        f"scale={config.scale}, shards={config.shards}) ...",
         file=sys.stderr,
     )
-    return build_session(config)
+    return build_session(config, jobs=args.jobs, cache=not args.no_cache)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

@@ -4,12 +4,18 @@ Most examples, benchmarks and integration tests need the same setup: a
 calibrated synthetic world, the filtered telemetry dataset, the labeled
 dataset and the Alexa service (which doubles as a classification
 feature).  :func:`build_session` bundles them.
+
+Sessions are cached per interpreter (keyed by the world config's content
+digest, see :mod:`repro.synth.cache`): repeat calls with an identical
+config return the same :class:`Session` object instead of regenerating
+and relabeling the world.  Pass ``cache=False`` to force a fresh build,
+and ``jobs`` to control generation parallelism on a cache miss.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Dict, Optional
 
 from .labeling.ground_truth import (
     GroundTruthLabeler,
@@ -17,8 +23,11 @@ from .labeling.ground_truth import (
     build_labeler,
 )
 from .labeling.whitelists import AlexaService
+from .synth.cache import config_digest, get_world
 from .synth.world import World, WorldConfig
 from .telemetry.dataset import TelemetryDataset
+
+_SESSIONS: Dict[str, "Session"] = {}
 
 
 @dataclasses.dataclass
@@ -33,15 +42,30 @@ class Session:
     alexa: AlexaService
 
 
-def build_session(config: Optional[WorldConfig] = None) -> Session:
-    """Generate, collect and label one synthetic corpus."""
+def build_session(
+    config: Optional[WorldConfig] = None,
+    jobs: Optional[int] = None,
+    cache: bool = True,
+) -> Session:
+    """Generate, collect and label one synthetic corpus.
+
+    With ``cache=True`` (the default) both the world and the fully
+    labeled session are memoized by config digest, so every later call
+    with the same config -- from tests, benchmarks or examples -- reuses
+    the generated world instead of rebuilding it.
+    """
     config = config or WorldConfig()
-    world = World(config)
+    digest = config_digest(config)
+    if cache:
+        session = _SESSIONS.get(digest)
+        if session is not None:
+            return session
+    world = get_world(config, jobs=jobs, cache=cache)
     dataset = world.collect()
     labeler = build_labeler(world, dataset)
     labeled = labeler.label_dataset(dataset)
     alexa = AlexaService.build(world.corpus.domains)
-    return Session(
+    session = Session(
         config=config,
         world=world,
         dataset=dataset,
@@ -49,3 +73,11 @@ def build_session(config: Optional[WorldConfig] = None) -> Session:
         labeler=labeler,
         alexa=alexa,
     )
+    if cache:
+        _SESSIONS[digest] = session
+    return session
+
+
+def clear_session_cache() -> None:
+    """Drop all memoized sessions (worlds are cleared separately)."""
+    _SESSIONS.clear()

@@ -10,6 +10,7 @@ models.
 """
 
 from .behavior import MachineFactory, ProcessEcosystem
+from .cache import clear_world_cache, config_digest, get_world
 from .calibration import PAPER_RESULTS
 from .distributions import (
     CategoricalSampler,
@@ -19,6 +20,15 @@ from .distributions import (
     zipf_weights,
 )
 from .domains import DomainEcosystem
+from .engine import (
+    ShardResult,
+    WorldContext,
+    build_context,
+    generate_world,
+    merge_shards,
+    plan_shards,
+    simulate_shard,
+)
 from .entities import (
     BenignProcess,
     SyntheticDomain,
@@ -47,6 +57,7 @@ __all__ = [
     "PrevalenceModel",
     "ProcessEcosystem",
     "RawCorpus",
+    "ShardResult",
     "SignerEcosystem",
     "Simulator",
     "SyntheticDomain",
@@ -54,8 +65,17 @@ __all__ = [
     "SyntheticMachine",
     "World",
     "WorldConfig",
+    "WorldContext",
+    "build_context",
+    "clear_world_cache",
+    "config_digest",
     "discrete_power_law",
     "generate_corpus",
     "generate_dataset",
+    "generate_world",
+    "get_world",
+    "merge_shards",
+    "plan_shards",
+    "simulate_shard",
     "zipf_weights",
 ]

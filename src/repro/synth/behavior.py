@@ -217,30 +217,39 @@ class MachineFactory:
         )
 
     def generate(self, count: int) -> Iterator[SyntheticMachine]:
-        """Yield ``count`` machines with activity windows and profiles."""
+        """Yield ``count`` machines with activity windows and profiles.
+
+        All randomness is drawn in vectorized blocks up front; the
+        geometric month-continuation draw is distributionally identical to
+        the paper-calibrated "keep flipping until failure or window end"
+        loop (``min(Geometric, months remaining)``).
+        """
         rng = self._rng
+        start_months = self._start_sampler.sample_batch(rng, count)
+        month_draws = rng.geometric(1.0 - _MONTH_CONTINUE_PROB, size=count)
+        start_fractions = rng.random(count)
+        end_slacks = rng.uniform(0, 3, size=count)
+        profiles = self._profile_sampler.sample_batch(rng, count)
+        browsers = self._browser_sampler.sample_batch(rng, count)
         for index in range(count):
-            start_month = self._start_sampler.sample(rng)
-            months_active = 1
-            while (
-                rng.random() < _MONTH_CONTINUE_PROB
-                and start_month + months_active < NUM_MONTHS
-            ):
-                months_active += 1
-            start_day = MONTH_STARTS[start_month] + rng.uniform(
-                0, MONTH_STARTS[start_month + 1] - MONTH_STARTS[start_month]
+            start_month = start_months[index]
+            months_active = min(
+                int(month_draws[index]), NUM_MONTHS - start_month
+            )
+            start_day = MONTH_STARTS[start_month] + start_fractions[index] * (
+                MONTH_STARTS[start_month + 1] - MONTH_STARTS[start_month]
             )
             end_limit = MONTH_STARTS[min(NUM_MONTHS, start_month + months_active)]
             end_day = min(
                 MONTH_STARTS[-1] - 1e-6,
-                max(start_day + 0.5, end_limit - rng.uniform(0, 3)),
+                max(start_day + 0.5, end_limit - end_slacks[index]),
             )
             yield SyntheticMachine(
                 machine_id=self._names.machine_id(index),
-                profile=self._profile_sampler.sample(rng),
-                start_day=start_day,
-                end_day=end_day,
-                browser=self._browser_sampler.sample(rng),
+                profile=profiles[index],
+                start_day=float(start_day),
+                end_day=float(end_day),
+                browser=browsers[index],
             )
 
 

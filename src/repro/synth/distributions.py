@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,10 +37,12 @@ def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
 
 
 class CategoricalSampler:
-    """Weighted draws over a fixed item list, with O(1) sampling.
+    """Weighted draws over a fixed item list, with O(log n) sampling.
 
-    Uses precomputed cumulative weights with ``searchsorted`` -- the
-    simulator calls these samplers millions of times.
+    Keeps the cumulative weights both as an ndarray (for vectorized batch
+    draws) and as a plain list (scalar draws via :func:`bisect.bisect_right`
+    avoid the per-call numpy dispatch overhead -- the simulator calls these
+    samplers millions of times).
     """
 
     def __init__(self, items: Sequence, weights: Sequence[float]) -> None:
@@ -59,6 +62,8 @@ class CategoricalSampler:
         self._cumulative = np.cumsum(weight_array / total)
         # Guard against floating-point drift leaving the last bin short.
         self._cumulative[-1] = 1.0
+        self._cumulative_list = self._cumulative.tolist()
+        self._last = len(self._items) - 1
 
     def __len__(self) -> int:
         return len(self._items)
@@ -69,8 +74,24 @@ class CategoricalSampler:
 
     def sample(self, rng: np.random.Generator):
         """Draw one item."""
-        position = np.searchsorted(self._cumulative, rng.random(), side="right")
-        return self._items[min(position, len(self._items) - 1)]
+        position = bisect_right(self._cumulative_list, rng.random())
+        return self._items[position if position < self._last else self._last]
+
+    def sample_batch(self, rng: np.random.Generator, count: int) -> list:
+        """Draw ``count`` items with one vectorized uniform draw.
+
+        Consumes exactly ``count`` uniforms from ``rng`` (the same stream
+        state a loop of :meth:`sample` would leave behind), so scalar and
+        batch call sites can be mixed without perturbing determinism.
+        """
+        if count <= 0:
+            return []
+        positions = np.searchsorted(
+            self._cumulative, rng.random(count), side="right"
+        )
+        last = self._last
+        items = self._items
+        return [items[p if p < last else last] for p in positions]
 
     @classmethod
     def zipf(cls, items: Sequence, exponent: float = 1.0) -> "CategoricalSampler":

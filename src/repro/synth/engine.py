@@ -1,0 +1,316 @@
+"""Sharded parallel world generation with a deterministic merge.
+
+The machine population is partitioned into ``config.shards`` contiguous
+shards.  Every shard simulates independently -- its own
+:class:`~numpy.random.SeedSequence`-derived RNG streams, its own
+:class:`~repro.synth.names.NameFactory` (hash counters offset so minted
+identifiers never collide across shards) and its own
+:class:`~repro.synth.files.FilePool` -- against the *shared, read-only*
+world ecosystems (signers, packers, domains, families, benign processes).
+
+Shard outputs are merged deterministically: events via a timestamp-sorted
+k-way merge (stable in shard order for ties), file tables and
+spawned-process sets by disjoint union in shard order.  The resulting
+:class:`~repro.synth.simulator.RawCorpus` is **bit-identical for a given
+``(seed, scale, shards)`` triple** regardless of how many worker
+processes executed the shards: ``jobs`` is purely an execution knob.
+
+Execution strategy:
+
+* ``jobs=1`` (or a single shard) runs shards sequentially in-process;
+* ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  preferring the ``fork`` start method so workers inherit the already
+  built shared ecosystems.  On platforms without ``fork`` the workers
+  rebuild the (cheap) ecosystem context once per process from the config;
+  if process pools are unavailable altogether (sandboxes), generation
+  silently falls back to the sequential path -- same output, by design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from operator import attrgetter
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..telemetry.collector import merge_sorted_streams
+from ..telemetry.events import DownloadEvent
+from .behavior import MachineFactory, ProcessEcosystem
+from .domains import DomainEcosystem
+from .entities import SyntheticFile, SyntheticMachine
+from .files import FamilyCatalog, FileFactory, FilePool
+from .names import NameFactory
+from .packers import PackerEcosystem
+from .signers import SignerEcosystem
+from .simulator import RawCorpus, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (world -> engine)
+    from .world import WorldConfig
+
+#: Number of root RNG streams consumed by the shared ecosystem context.
+#: Kept at the original single-process layout (8 streams) so ecosystem
+#: content is stable across the engine refactor; per-shard streams are
+#: spawned *after* these indices.
+_CONTEXT_STREAMS = 8
+
+#: Stride partitioning the 64-bit NameFactory hash-counter space between
+#: shards: shard ``i`` mints from ``(i + 1) * stride``; the shared context
+#: factory mints ecosystem hashes from 0.
+_SHARD_COUNTER_STRIDE = 2**40
+
+
+@dataclasses.dataclass
+class WorldContext:
+    """The shared world state every shard reads (and never writes)."""
+
+    names: NameFactory
+    signers: SignerEcosystem
+    packers: PackerEcosystem
+    domains: DomainEcosystem
+    families: FamilyCatalog
+    processes: ProcessEcosystem
+    machines: List[SyntheticMachine]
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """Everything one shard contributes to the merged corpus."""
+
+    shard_index: int
+    events: List[DownloadEvent]
+    files: Dict[str, SyntheticFile]
+    spawned_process_shas: Set[str]
+
+
+def build_context(config: "WorldConfig") -> WorldContext:
+    """Deterministically build the shared ecosystems for ``config``.
+
+    Stream indices 0-6 match the pre-engine world builder (5 and 7, the
+    old file-factory and simulator streams, are intentionally left unused:
+    those draws are per-shard now).
+    """
+    seeds = np.random.SeedSequence(config.seed).spawn(_CONTEXT_STREAMS)
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    names = NameFactory(rngs[0])
+    signers = SignerEcosystem(rngs[1], names, config.scale)
+    packers = PackerEcosystem(names)
+    domains = DomainEcosystem(rngs[2], names, config.scale)
+    families = FamilyCatalog(rngs[3], names, config.scale)
+    processes = ProcessEcosystem(rngs[4], names, config.scale)
+    machines = list(
+        MachineFactory(rngs[6], names).generate(config.machine_count)
+    )
+    return WorldContext(
+        names=names,
+        signers=signers,
+        packers=packers,
+        domains=domains,
+        families=families,
+        processes=processes,
+        machines=machines,
+    )
+
+
+def plan_shards(machine_count: int, shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` machine slices, one per shard.
+
+    The plan depends only on ``(machine_count, shards)`` so the partition
+    -- and therefore the generated world -- is independent of ``jobs``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    base, remainder = divmod(machine_count, shards)
+    plan: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < remainder else 0)
+        plan.append((start, stop))
+        start = stop
+    return plan
+
+
+def _shard_seed(config: "WorldConfig", shard_index: int) -> np.random.SeedSequence:
+    """The root seed of one shard.
+
+    ``SeedSequence`` children are keyed by spawn index alone, so spawning
+    ``_CONTEXT_STREAMS + shards`` children from a fresh root reproduces the
+    exact streams the context builder left unspawned.
+    """
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(_CONTEXT_STREAMS + config.shards)
+    return children[_CONTEXT_STREAMS + shard_index]
+
+
+def simulate_shard(
+    context: WorldContext, config: "WorldConfig", shard_index: int
+) -> ShardResult:
+    """Run one shard's simulation against the shared context."""
+    if not 0 <= shard_index < config.shards:
+        raise ValueError(
+            f"shard_index {shard_index} outside [0, {config.shards})"
+        )
+    start, stop = plan_shards(len(context.machines), config.shards)[shard_index]
+    machines = context.machines[start:stop]
+    sim_seed, name_seed, file_seed = _shard_seed(config, shard_index).spawn(3)
+    names = NameFactory(
+        np.random.default_rng(name_seed),
+        counter_start=(shard_index + 1) * _SHARD_COUNTER_STRIDE,
+    )
+    factory = FileFactory(
+        np.random.default_rng(file_seed),
+        names,
+        context.signers,
+        context.packers,
+        context.families,
+    )
+    pool = FilePool(factory)
+    simulator = Simulator(
+        np.random.default_rng(sim_seed),
+        machines,
+        context.processes,
+        context.domains,
+        pool,
+        unknown_latent_malicious=config.unknown_latent_malicious_fraction,
+    )
+    shard_corpus = simulator.run()
+    return ShardResult(
+        shard_index=shard_index,
+        events=shard_corpus.events,
+        files=shard_corpus.files,
+        spawned_process_shas=shard_corpus.spawned_process_shas,
+    )
+
+
+def merge_shards(
+    context: WorldContext,
+    config: "WorldConfig",
+    results: List[ShardResult],
+) -> RawCorpus:
+    """Deterministically merge shard outputs into one raw corpus.
+
+    Events use a k-way merge over the per-shard timestamp-sorted streams
+    (:func:`heapq.merge` is stable, so ties resolve in shard order); files
+    and spawned-process hashes are disjoint unions applied in shard order.
+    """
+    ordered = sorted(results, key=attrgetter("shard_index"))
+    if [r.shard_index for r in ordered] != list(range(config.shards)):
+        raise ValueError("merge requires exactly one result per shard")
+    events = list(merge_sorted_streams([r.events for r in ordered]))
+    files: Dict[str, SyntheticFile] = {}
+    spawned: Set[str] = set()
+    for result in ordered:
+        files.update(result.files)
+        spawned.update(result.spawned_process_shas)
+    return RawCorpus(
+        events=events,
+        files=files,
+        benign_processes={
+            process.sha1: process
+            for process in context.processes.all_processes()
+        },
+        spawned_process_shas=spawned,
+        machines=context.machines,
+        domains=context.domains.all_domains(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker plumbing
+# ----------------------------------------------------------------------
+
+#: Per-process context memo.  In the parent it is populated before the
+#: pool is created, so fork-started workers inherit the built context;
+#: spawn-started workers rebuild it once on first use.
+_CONTEXT_CACHE: Dict[Tuple[object, ...], WorldContext] = {}
+
+
+def _context_key(config: "WorldConfig") -> Tuple[object, ...]:
+    return dataclasses.astuple(config)
+
+
+def _worker_context(config: "WorldConfig") -> WorldContext:
+    key = _context_key(config)
+    context = _CONTEXT_CACHE.get(key)
+    if context is None:
+        context = build_context(config)
+        _CONTEXT_CACHE[key] = context
+    return context
+
+
+def _shard_worker(config: "WorldConfig", shard_index: int) -> ShardResult:
+    """Process-pool entry point: simulate one shard."""
+    return simulate_shard(_worker_context(config), config, shard_index)
+
+
+def resolve_jobs(jobs: Optional[int], shards: int) -> int:
+    """Translate a user ``jobs`` request into a worker count.
+
+    ``None`` means "use the hardware": one worker per core, never more
+    than there are shards.  Explicit values are clamped to ``[1, shards]``.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return min(jobs, shards)
+
+
+def generate_world(
+    config: "WorldConfig", jobs: Optional[int] = None
+) -> Tuple[WorldContext, RawCorpus]:
+    """Build the shared context, simulate all shards, merge.
+
+    Returns ``(context, corpus)``.  The corpus is bit-identical for a
+    given ``(seed, scale, shards)`` triple whatever ``jobs`` is.
+    """
+    workers = resolve_jobs(jobs, config.shards)
+    key = _context_key(config)
+    context = _CONTEXT_CACHE.get(key)
+    if context is None:
+        context = build_context(config)
+        _CONTEXT_CACHE[key] = context
+    try:
+        if workers <= 1:
+            results = [
+                simulate_shard(context, config, index)
+                for index in range(config.shards)
+            ]
+        else:
+            results = _run_parallel(config, workers)
+    finally:
+        # The memo exists to hand workers a pre-built context (via fork)
+        # and to dedupe rebuilds inside one worker process; the parent
+        # should not keep whole worlds alive across generate calls.
+        _CONTEXT_CACHE.pop(key, None)
+    return context, merge_shards(context, config, results)
+
+
+def _run_parallel(config: "WorldConfig", workers: int) -> List[ShardResult]:
+    """Fan shards out over a process pool; fall back to sequential.
+
+    Any :class:`OSError` while setting up multiprocessing (no /dev/shm,
+    seccomp'd clone, ...) degrades to the in-process path, which produces
+    the identical corpus.
+    """
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        ) as pool:
+            futures = [
+                pool.submit(_shard_worker, config, index)
+                for index in range(config.shards)
+            ]
+            return [future.result() for future in futures]
+    except (OSError, PermissionError):
+        context = _worker_context(config)
+        return [
+            simulate_shard(context, config, index)
+            for index in range(config.shards)
+        ]

@@ -12,6 +12,7 @@ every file live on a single home domain (Tables IV/V).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -187,7 +188,7 @@ class FileFactory:
             median, sigma = _SIZE_PARAMS["benign"]
         else:
             median, sigma = _SIZE_PARAMS["unknown"]
-        size = float(np.exp(self._rng.normal(np.log(median), sigma)))
+        size = math.exp(self._rng.normal(math.log(median), sigma))
         return max(10_000, int(size))
 
 
@@ -252,9 +253,9 @@ class FilePool:
             # Power-of-three-choices, biased toward the file with the most
             # remaining capacity: large prevalence targets fill up even in
             # small worlds instead of being censored at simulation end.
-            index = int(rng.integers(0, len(open_files)))
-            for _ in range(2):
-                other = int(rng.integers(0, len(open_files)))
+            choices = rng.integers(0, len(open_files), size=3)
+            index = int(choices[0])
+            for other in (int(choices[1]), int(choices[2])):
                 if open_files[other].open_capacity > open_files[index].open_capacity:
                     index = other
             chosen = open_files[index]

@@ -21,7 +21,7 @@ applies the reporting policy to produce the analyzed dataset.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -45,7 +45,12 @@ from .behavior import (
 )
 from .distributions import CategoricalSampler
 from .domains import DomainEcosystem
-from .entities import BenignProcess, SyntheticFile, SyntheticMachine
+from .entities import (
+    BenignProcess,
+    SyntheticDomain,
+    SyntheticFile,
+    SyntheticMachine,
+)
 from .files import FilePool
 
 #: Label mix for downloads performed by latently benign ("gray") unknown
@@ -57,6 +62,10 @@ _GRAY_PROCESS_MIX: Dict[FileLabel, float] = {
     FileLabel.MALICIOUS: 0.03,
     FileLabel.LIKELY_MALICIOUS: 0.01,
 }
+
+_GRAY_PROCESS_SAMPLER = CategoricalSampler(
+    list(_GRAY_PROCESS_MIX.keys()), list(_GRAY_PROCESS_MIX.values())
+)
 
 #: Maximum infection-chain recursion depth (dropper -> bot -> ... ).
 _MAX_CHAIN_DEPTH = 3
@@ -79,7 +88,7 @@ class RawCorpus:
     benign_processes: Dict[str, BenignProcess]
     spawned_process_shas: Set[str]
     machines: List[SyntheticMachine]
-    domains: List
+    domains: List[SyntheticDomain]
 
     def file_records(self) -> Dict[str, FileRecord]:
         """Telemetry-visible file metadata table."""
@@ -123,6 +132,9 @@ class Simulator:
         self._spawned: Set[str] = set()
         self._type_samplers: Dict[str, CategoricalSampler] = {}
         self._mix_cache: Dict[tuple, CategoricalSampler] = {}
+        self._label_samplers: Dict[
+            Tuple[str, float, float], CategoricalSampler
+        ] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -152,10 +164,12 @@ class Simulator:
     def _simulate_machine(self, machine: SyntheticMachine) -> None:
         rng = self._rng
         _, risk, volume, unknown_scale = PROFILES[machine.profile]
+        engagement = calibration.CATEGORY_ENGAGEMENT
+        draws = rng.random(len(engagement))
         engaged = [
             category
-            for category, prob in calibration.CATEGORY_ENGAGEMENT.items()
-            if rng.random() < prob
+            for (category, prob), draw in zip(engagement.items(), draws)
+            if draw < prob
         ]
         if not engaged:
             # Every monitored machine reported at least one event.
@@ -163,8 +177,10 @@ class Simulator:
         for category in engaged:
             mean = CATEGORY_EVENT_MEANS[category] * volume
             count = max(1, int(rng.poisson(mean)))
-            for _ in range(count):
-                timestamp = rng.uniform(machine.start_day, machine.end_day)
+            timestamps = rng.uniform(
+                machine.start_day, machine.end_day, size=count
+            )
+            for timestamp in timestamps.tolist():
                 self._background_event(
                     machine, category, timestamp, risk, unknown_scale
                 )
@@ -261,7 +277,7 @@ class Simulator:
                     source_type, label
                 )
             else:
-                label = self._sample_mix(_GRAY_PROCESS_MIX)
+                label = _GRAY_PROCESS_SAMPLER.sample(rng)
                 latent_malicious, latent_type = self._latent_nature(
                     "browser", label
                 )
@@ -425,10 +441,21 @@ class Simulator:
     def _sample_label(
         self, context: str, risk: float, unknown_scale: float = 1.0
     ) -> FileLabel:
-        mix = calibration.CONTEXT_LABEL_MIXES[context]
-        if abs(risk - 1.0) > 1e-9 or abs(unknown_scale - 1.0) > 1e-9:
-            mix = risk_adjusted_mix(mix, risk, unknown_scale)
-        return self._sample_mix(mix)
+        # The (context, risk, unknown_scale) space is tiny -- machine
+        # profiles x browser risks -- so the adjusted mixes are built once
+        # and the per-event cost is a single cached categorical draw.
+        key = (context, risk, unknown_scale)
+        sampler = self._label_samplers.get(key)
+        if sampler is None:
+            mix = calibration.CONTEXT_LABEL_MIXES[context]
+            if abs(risk - 1.0) > 1e-9 or abs(unknown_scale - 1.0) > 1e-9:
+                mix = risk_adjusted_mix(mix, risk, unknown_scale)
+            labels = list(mix.keys())
+            sampler = CategoricalSampler(
+                labels, [mix[label] for label in labels]
+            )
+            self._label_samplers[key] = sampler
+        return sampler.sample(self._rng)
 
     def _sample_mix(self, mix: Dict[FileLabel, float]) -> FileLabel:
         key = tuple(sorted((label.value, weight) for label, weight in mix.items()))

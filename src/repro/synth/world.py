@@ -2,7 +2,10 @@
 
 :class:`WorldConfig` is the single knob surface -- ``seed`` makes the
 whole world reproducible, ``scale`` multiplies the paper's full-corpus
-volumes (1.14M machines / 3.07M events at ``scale=1.0``).
+volumes (1.14M machines / 3.07M events at ``scale=1.0``; values above
+1.0 oversample the paper for stress workloads), and ``shards`` fixes the
+deterministic partition used by the parallel generation engine
+(:mod:`repro.synth.engine`).
 
 Typical use::
 
@@ -13,6 +16,9 @@ Typical use::
 ``dataset`` is the filtered :class:`~repro.telemetry.dataset.TelemetryDataset`
 the analyses consume; ``world`` retains the raw corpus, latent truth and
 filter statistics.
+
+Generation parallelism (``jobs``) and caching never change the produced
+world: the corpus is a pure function of the config.
 """
 
 from __future__ import annotations
@@ -20,19 +26,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-import numpy as np
-
 from ..telemetry.agent import ReportingPolicy
 from ..telemetry.collector import FilterStats, collect
 from ..telemetry.dataset import TelemetryDataset
-from . import calibration
-from .behavior import MachineFactory, ProcessEcosystem
-from .domains import DomainEcosystem
-from .files import FamilyCatalog, FileFactory, FilePool
-from .names import NameFactory
-from .packers import PackerEcosystem
-from .signers import SignerEcosystem
-from .simulator import RawCorpus, Simulator
+from . import calibration, engine
+from .simulator import RawCorpus
 
 
 @dataclasses.dataclass(frozen=True)
@@ -44,6 +42,10 @@ class WorldConfig:
     default is the calibration value; sweeping it (see
     ``benchmarks/bench_ablation_unknowns.py``) shows how the measurement
     and labeling results depend on that assumption.
+
+    ``shards`` is part of the world's identity: the same ``(seed, scale,
+    shards)`` triple always yields the bit-identical corpus, however many
+    worker processes generate it.
     """
 
     seed: int = 7
@@ -52,16 +54,19 @@ class WorldConfig:
     unknown_latent_malicious_fraction: float = (
         calibration.UNKNOWN_LATENT_MALICIOUS_FRACTION
     )
+    shards: int = 8
 
     def __post_init__(self) -> None:
-        if self.scale <= 0 or self.scale > 1.0:
-            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
         if self.sigma < 1:
             raise ValueError(f"sigma must be >= 1, got {self.sigma}")
         if not 0.0 <= self.unknown_latent_malicious_fraction <= 1.0:
             raise ValueError(
                 "unknown_latent_malicious_fraction must be a probability"
             )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
     @property
     def machine_count(self) -> int:
@@ -71,56 +76,56 @@ class WorldConfig:
 
 
 class World:
-    """A fully built synthetic world with its generated corpus."""
+    """A fully built synthetic world with its generated corpus.
 
-    def __init__(self, config: WorldConfig) -> None:
+    ``jobs`` controls how many worker processes simulate the shards; it
+    is an execution knob only and does not affect the generated world.
+    """
+
+    def __init__(
+        self, config: WorldConfig, jobs: Optional[int] = None
+    ) -> None:
         self.config = config
-        seeds = np.random.SeedSequence(config.seed).spawn(8)
-        rngs = [np.random.default_rng(seed) for seed in seeds]
-        names = NameFactory(rngs[0])
-
-        self.signers = SignerEcosystem(rngs[1], names, config.scale)
-        self.packers = PackerEcosystem(names)
-        self.domains = DomainEcosystem(rngs[2], names, config.scale)
-        self.families = FamilyCatalog(rngs[3], names, config.scale)
-        self.processes = ProcessEcosystem(rngs[4], names, config.scale)
-
-        factory = FileFactory(rngs[5], names, self.signers, self.packers,
-                              self.families)
-        self.pool = FilePool(factory)
-
-        machine_factory = MachineFactory(rngs[6], names)
-        machines = list(machine_factory.generate(config.machine_count))
-
-        simulator = Simulator(
-            rngs[7], machines, self.processes, self.domains, self.pool,
-            unknown_latent_malicious=config.unknown_latent_malicious_fraction,
-        )
-        self.corpus: RawCorpus = simulator.run()
+        context, corpus = engine.generate_world(config, jobs=jobs)
+        self.signers = context.signers
+        self.packers = context.packers
+        self.domains = context.domains
+        self.families = context.families
+        self.processes = context.processes
+        self.corpus: RawCorpus = corpus
         self.filter_stats: Optional[FilterStats] = None
+        self._dataset: Optional[TelemetryDataset] = None
 
     def collect(self) -> TelemetryDataset:
-        """Apply the reporting filters and return the analyzed dataset."""
-        policy = ReportingPolicy(sigma=self.config.sigma)
-        dataset, stats = collect(
-            self.corpus.events,
-            self.corpus.file_records(),
-            self.corpus.process_records(),
-            policy,
-        )
-        self.filter_stats = stats
-        return dataset
+        """Apply the reporting filters and return the analyzed dataset.
+
+        The filtered dataset is memoized: collection is deterministic, so
+        repeat calls (e.g. through the session cache) reuse the result.
+        """
+        if self._dataset is None:
+            policy = ReportingPolicy(sigma=self.config.sigma)
+            dataset, stats = collect(
+                self.corpus.events,
+                self.corpus.file_records(),
+                self.corpus.process_records(),
+                policy,
+            )
+            self.filter_stats = stats
+            self._dataset = dataset
+        return self._dataset
 
 
-def generate_corpus(config: Optional[WorldConfig] = None) -> RawCorpus:
+def generate_corpus(
+    config: Optional[WorldConfig] = None, jobs: Optional[int] = None
+) -> RawCorpus:
     """Build a world and return only its raw (pre-filter) corpus."""
-    return World(config or WorldConfig()).corpus
+    return World(config or WorldConfig(), jobs=jobs).corpus
 
 
 def generate_dataset(
-    config: Optional[WorldConfig] = None,
+    config: Optional[WorldConfig] = None, jobs: Optional[int] = None
 ) -> Tuple[TelemetryDataset, World]:
     """Build a world, apply reporting filters, return (dataset, world)."""
-    world = World(config or WorldConfig())
+    world = World(config or WorldConfig(), jobs=jobs)
     dataset = world.collect()
     return dataset, world

@@ -9,7 +9,13 @@ consume.
 """
 
 from .agent import DEFAULT_SIGMA, DEFAULT_URL_WHITELIST, ReportingPolicy, SoftwareAgent
-from .collector import CollectionServer, FilterStats, collect
+from .collector import (
+    CollectionServer,
+    FilterStats,
+    collect,
+    collect_shards,
+    merge_sorted_streams,
+)
 from .dataset import TelemetryDataset
 from .io import load_dataset, save_dataset
 from .events import (
@@ -41,6 +47,8 @@ __all__ = [
     "SoftwareAgent",
     "TelemetryDataset",
     "collect",
+    "collect_shards",
+    "merge_sorted_streams",
     "domain_of_url",
     "effective_2ld",
     "load_dataset",

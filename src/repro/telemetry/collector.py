@@ -14,7 +14,9 @@ report repeat downloads without increasing the count.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+import heapq
+from operator import attrgetter
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
 
 from .agent import ReportingPolicy, SoftwareAgent
 from .dataset import TelemetryDataset
@@ -99,15 +101,32 @@ class CollectionServer:
         """Materialize the dataset of reported events.
 
         Metadata tables may be supersets; they are narrowed to the hashes
-        actually reported.
+        actually reported.  Narrowing keeps first-seen event order (not
+        set order, which varies with the per-process string hash seed) so
+        a dataset -- and anything serialized from it -- is byte-identical
+        across runs.
         """
-        file_shas = {event.file_sha1 for event in self._reported}
-        proc_shas = {event.process_sha1 for event in self._reported}
+        file_shas = dict.fromkeys(event.file_sha1 for event in self._reported)
+        proc_shas = dict.fromkeys(event.process_sha1 for event in self._reported)
         return TelemetryDataset(
             list(self._reported),
             {sha: files[sha] for sha in file_shas},
             {sha: processes[sha] for sha in proc_shas},
         )
+
+
+def merge_sorted_streams(
+    streams: Sequence[Iterable[DownloadEvent]],
+) -> Iterator[DownloadEvent]:
+    """Lazily k-way-merge per-shard timestamp-sorted event streams.
+
+    Each input stream must already be in non-decreasing timestamp order
+    (every generation shard sorts its own output).  The merge is stable:
+    ties keep the stream order, which is what makes sharded generation
+    deterministic.  The result satisfies :meth:`CollectionServer.submit`'s
+    ordering contract without materializing a combined list first.
+    """
+    return heapq.merge(*streams, key=attrgetter("timestamp"))
 
 
 def collect(
@@ -122,6 +141,22 @@ def collect(
     guarantees this).
     """
     server = CollectionServer(policy)
+    submit = server.submit
     for event in raw_events:
-        server.submit(event)
+        submit(event)
     return server.dataset(files, processes), server.stats
+
+
+def collect_shards(
+    shard_streams: Sequence[Iterable[DownloadEvent]],
+    files: Mapping[str, FileRecord],
+    processes: Mapping[str, ProcessRecord],
+    policy: Optional[ReportingPolicy] = None,
+):
+    """Collect directly from pre-sorted shard streams.
+
+    Convenience for pipelines that keep per-shard event lists around:
+    merges lazily (no intermediate combined list) and applies the same
+    reporting policy as :func:`collect`.
+    """
+    return collect(merge_sorted_streams(shard_streams), files, processes, policy)

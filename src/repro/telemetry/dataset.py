@@ -84,6 +84,30 @@ class TelemetryDataset:
     def __len__(self) -> int:
         return len(self._events)
 
+    def content_digest(self) -> str:
+        """Canonical SHA-256 digest of the dataset's full content.
+
+        Events contribute in their stored (timestamp-sorted, stable)
+        order; the metadata tables contribute in sorted-hash order so the
+        digest is independent of dict insertion order.  Two datasets are
+        bit-identical -- same events, same metadata -- iff their digests
+        match, which is how the determinism guarantees of the sharded
+        generation engine and the world cache are verified.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(
+                f"{event.file_sha1}|{event.machine_id}|{event.process_sha1}"
+                f"|{event.url}|{event.timestamp!r}|{event.executed}\n".encode()
+            )
+        for sha in sorted(self._files):
+            digest.update(f"F{self._files[sha]!r}\n".encode())
+        for sha in sorted(self._processes):
+            digest.update(f"P{self._processes[sha]!r}\n".encode())
+        return digest.hexdigest()
+
     def __repr__(self) -> str:
         return (
             f"TelemetryDataset(events={len(self._events)}, "

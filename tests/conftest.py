@@ -6,6 +6,12 @@ two shared sessions once:
 * ``small_session`` -- tiny world for structural tests;
 * ``medium_session`` -- the calibration-band world used by analysis and
   integration tests.
+
+:func:`repro.build_session` memoizes sessions by world-config digest
+(see :mod:`repro.synth.cache`), so any test that builds its own session
+with one of these configs reuses the already generated world instead of
+regenerating it -- the fixtures below are just named entry points into
+that cache.
 """
 
 from __future__ import annotations

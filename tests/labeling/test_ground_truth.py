@@ -99,7 +99,10 @@ class TestQueryDayEffect:
             small_session.world, small_session.dataset, query_day=60.0
         )
         late = small_session.labeler  # final (two-year) query
-        sample = list(small_session.dataset.files)[:800]
+        # The whole file table: a prefix slice is sensitive to table
+        # order (first-seen download order), which skews toward early,
+        # already-matured files and can wash out the effect.
+        sample = list(small_session.dataset.files)
         early_malicious = sum(
             1 for sha in sample
             if early.label_hash(sha) == FileLabel.MALICIOUS

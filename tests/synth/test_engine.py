@@ -1,0 +1,160 @@
+"""Tests for the sharded parallel generation engine and the world cache.
+
+The contract under test: the filtered :class:`TelemetryDataset` (and the
+raw corpus beneath it) is a pure function of ``(seed, scale, shards)`` --
+identical across repeat runs, across ``jobs`` settings, and across
+cache-hit vs cache-miss paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import cache as world_cache
+from repro.synth.cache import clear_world_cache, config_digest, get_world
+from repro.synth.engine import (
+    build_context,
+    generate_world,
+    merge_shards,
+    plan_shards,
+    resolve_jobs,
+    simulate_shard,
+)
+from repro.synth.world import World, WorldConfig
+
+_CONFIG = WorldConfig(seed=13, scale=0.002)
+
+
+def _dataset_digest(world: World) -> str:
+    return world.collect().content_digest()
+
+
+class TestShardPlan:
+    def test_covers_all_machines_contiguously(self):
+        plan = plan_shards(1003, 8)
+        assert plan[0][0] == 0
+        assert plan[-1][1] == 1003
+        for (_, prev_stop), (start, _) in zip(plan, plan[1:]):
+            assert prev_stop == start
+
+    def test_balanced_within_one(self):
+        sizes = [stop - start for start, stop in plan_shards(1003, 8)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_machines(self):
+        plan = plan_shards(3, 8)
+        assert sum(stop - start for start, stop in plan) == 3
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            plan_shards(100, 0)
+
+
+class TestResolveJobs:
+    def test_clamped_to_shards(self):
+        assert resolve_jobs(64, 8) == 8
+
+    def test_explicit_one(self):
+        assert resolve_jobs(1, 8) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0, 8)
+
+
+class TestShardedDeterminism:
+    def test_two_runs_identical(self):
+        first = _dataset_digest(World(_CONFIG, jobs=1))
+        second = _dataset_digest(World(_CONFIG, jobs=1))
+        assert first == second
+
+    def test_jobs_do_not_change_world(self):
+        sequential = _dataset_digest(World(_CONFIG, jobs=1))
+        parallel = _dataset_digest(World(_CONFIG, jobs=4))
+        assert sequential == parallel
+
+    def test_shards_are_part_of_world_identity(self):
+        base = _dataset_digest(World(_CONFIG, jobs=1))
+        other = _dataset_digest(
+            World(WorldConfig(seed=13, scale=0.002, shards=3), jobs=1)
+        )
+        assert base != other
+
+    def test_shard_outputs_are_disjoint(self):
+        context = build_context(_CONFIG)
+        results = [
+            simulate_shard(context, _CONFIG, index)
+            for index in range(_CONFIG.shards)
+        ]
+        seen = set()
+        for result in results:
+            assert not (seen & result.files.keys())
+            seen |= result.files.keys()
+        corpus = merge_shards(context, _CONFIG, results)
+        assert len(corpus.files) == len(seen)
+
+    def test_merged_events_sorted(self):
+        _, corpus = generate_world(_CONFIG, jobs=1)
+        timestamps = [event.timestamp for event in corpus.events]
+        assert timestamps == sorted(timestamps)
+
+    def test_merge_requires_all_shards(self):
+        context = build_context(_CONFIG)
+        results = [simulate_shard(context, _CONFIG, 0)]
+        with pytest.raises(ValueError):
+            merge_shards(context, _CONFIG, results)
+
+
+class TestConfigDigest:
+    def test_stable(self):
+        assert config_digest(_CONFIG) == config_digest(_CONFIG)
+
+    def test_sensitive_to_every_knob(self):
+        base = config_digest(_CONFIG)
+        assert config_digest(WorldConfig(seed=14, scale=0.002)) != base
+        assert config_digest(WorldConfig(seed=13, scale=0.003)) != base
+        assert (
+            config_digest(WorldConfig(seed=13, scale=0.002, shards=5)) != base
+        )
+
+    def test_salted_by_generator_version(self, monkeypatch):
+        base = config_digest(_CONFIG)
+        monkeypatch.setattr(world_cache, "GENERATOR_VERSION", "other")
+        assert config_digest(_CONFIG) != base
+
+
+class TestWorldCache:
+    def test_memory_hit_returns_same_world(self):
+        clear_world_cache()
+        first = get_world(_CONFIG)
+        second = get_world(_CONFIG)
+        assert first is second
+
+    def test_cache_false_bypasses(self):
+        clear_world_cache()
+        first = get_world(_CONFIG)
+        fresh = get_world(_CONFIG, cache=False)
+        assert fresh is not first
+        assert _dataset_digest(fresh) == _dataset_digest(first)
+
+    def test_hit_and_miss_paths_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(world_cache.CACHE_DIR_ENV, str(tmp_path))
+        clear_world_cache()
+        cold = _dataset_digest(get_world(_CONFIG))          # miss -> store
+        assert list(tmp_path.glob("world-*.pkl"))
+        clear_world_cache()                                 # drop memory
+        warm = _dataset_digest(get_world(_CONFIG))          # disk hit
+        uncached = _dataset_digest(get_world(_CONFIG, cache=False))
+        assert cold == warm == uncached
+        clear_world_cache(disk=True)
+        assert not list(tmp_path.glob("world-*.pkl"))
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(world_cache.CACHE_DIR_ENV, str(tmp_path))
+        clear_world_cache()
+        digest = config_digest(_CONFIG)
+        (tmp_path / f"world-{digest}.pkl").write_bytes(b"not a pickle")
+        world = get_world(_CONFIG)
+        assert _dataset_digest(world) == _dataset_digest(
+            get_world(_CONFIG, cache=False)
+        )

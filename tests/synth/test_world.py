@@ -18,11 +18,21 @@ class TestWorldConfig:
         with pytest.raises(ValueError):
             WorldConfig(scale=0.0)
         with pytest.raises(ValueError):
-            WorldConfig(scale=1.5)
+            WorldConfig(scale=-0.5)
+
+    def test_oversampled_scale_allowed(self):
+        # Regression: the artificial scale <= 1.0 cap is lifted so stress
+        # worlds larger than the paper's corpus are generatable.
+        config = WorldConfig(scale=1.5)
+        assert config.machine_count > WorldConfig(scale=1.0).machine_count
 
     def test_invalid_sigma(self):
         with pytest.raises(ValueError):
             WorldConfig(sigma=0)
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            WorldConfig(shards=0)
 
 
 class TestDeterminism:

@@ -1,6 +1,6 @@
 """Golden regression numbers for the deterministic medium session.
 
-These pin the exact output of the (seed=7, scale=0.01) world so that
+These pin the exact output of the (seed=7, scale=0.01, shards=8) world so that
 unintended changes to the generator, filters or labeling policy are
 caught immediately.  If a change to the synthetic world is *intentional*,
 update the constants here and re-check the calibration bands in
@@ -10,16 +10,16 @@ update the constants here and re-check the calibration bands in
 from repro import FileLabel
 
 GOLDEN = {
-    "events": 34_548,
-    "files": 23_214,
-    "processes": 1_954,
-    "machines": 11_072,
+    "events": 35_416,
+    "files": 24_740,
+    "processes": 1_995,
+    "machines": 11_207,
     "labels": {
-        FileLabel.BENIGN: 852,
-        FileLabel.LIKELY_BENIGN: 574,
-        FileLabel.MALICIOUS: 2_576,
-        FileLabel.LIKELY_MALICIOUS: 470,
-        FileLabel.UNKNOWN: 18_742,
+        FileLabel.BENIGN: 862,
+        FileLabel.LIKELY_BENIGN: 675,
+        FileLabel.MALICIOUS: 3_037,
+        FileLabel.LIKELY_MALICIOUS: 601,
+        FileLabel.UNKNOWN: 19_565,
     },
 }
 

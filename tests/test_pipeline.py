@@ -35,3 +35,19 @@ class TestBuildSession:
         second = build_session(WorldConfig(seed=9, scale=0.001))
         assert first.labeled.label_counts() == second.labeled.label_counts()
         assert len(first.dataset.events) == len(second.dataset.events)
+
+    def test_session_cache_returns_same_object(self):
+        config = WorldConfig(seed=9, scale=0.001)
+        assert build_session(config) is build_session(config)
+
+    def test_cache_and_jobs_do_not_change_dataset(self):
+        config = WorldConfig(seed=9, scale=0.001)
+        cached = build_session(config)
+        fresh = build_session(config, cache=False)
+        parallel = build_session(config, jobs=2, cache=False)
+        assert fresh is not cached
+        assert (
+            cached.dataset.content_digest()
+            == fresh.dataset.content_digest()
+            == parallel.dataset.content_digest()
+        )
