@@ -7,6 +7,13 @@ fixed by the config, every jobs level produces the bit-identical corpus
 (asserted here via the dataset digest) -- the only thing that may change
 is wall-time.
 
+Timings come from the tracing spans the engine records
+(``synth.generate_world`` and its children, see :mod:`repro.obs.trace`)
+rather than ad-hoc ``time.perf_counter`` bracketing: the JSON record and
+a ``--trace`` run of the same config can therefore never disagree, and
+the per-stage breakdown (context build, shard fan-out, merge) rides
+along for free.
+
 The non-regression assertion is enforced only on machines with at least
 two cores: there, each parallel level must stay within a constant factor
 of ``jobs=1`` (and in practice beats it).  On single-core runners the
@@ -20,9 +27,9 @@ from __future__ import annotations
 
 import json
 import os
-import time
 
 from repro import WorldConfig
+from repro.obs import trace
 from repro.synth import World
 
 from .common import OUTPUT_DIR
@@ -38,13 +45,31 @@ MAX_OVERHEAD_FACTOR = 1.6
 
 def test_parallel_scaling():
     config = WorldConfig(seed=3, scale=SCALE)
+    tracer = trace.get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enable()
     timings = {}
+    stages = {}
     digests = set()
-    for jobs in JOBS_LEVELS:
-        start = time.perf_counter()
-        world = World(config, jobs=jobs)
-        timings[jobs] = time.perf_counter() - start
-        digests.add(world.collect().content_digest())
+    try:
+        for jobs in JOBS_LEVELS:
+            tracer.reset()
+            world = World(config, jobs=jobs)
+            root = tracer.find("synth.generate_world")
+            assert root is not None and root.end is not None
+            timings[jobs] = root.duration
+            merge = tracer.find("synth.merge_shards")
+            context = tracer.find("synth.build_context")
+            stages[jobs] = {
+                "generate": root.duration,
+                "build_context": context.duration if context else None,
+                "merge": merge.duration if merge else None,
+            }
+            digests.add(world.collect().content_digest())
+    finally:
+        tracer.reset()
+        if not was_enabled:
+            tracer.disable()
 
     # Determinism: jobs is an execution knob, never a world knob.
     assert len(digests) == 1
@@ -54,7 +79,11 @@ def test_parallel_scaling():
         "scale": SCALE,
         "shards": config.shards,
         "cpu_count": os.cpu_count(),
+        "timing_source": "obs.trace spans (synth.generate_world)",
         "seconds_by_jobs": {str(jobs): timings[jobs] for jobs in JOBS_LEVELS},
+        "stage_seconds_by_jobs": {
+            str(jobs): stages[jobs] for jobs in JOBS_LEVELS
+        },
     }
     (OUTPUT_DIR / "BENCH_parallel.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"

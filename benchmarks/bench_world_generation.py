@@ -8,50 +8,85 @@ Three generation variants are measured:
   (identical output by construction; see ``repro/synth/engine.py``);
 * **cached** -- the session-level world cache path most callers
   (benchmarks, tests, repeated ``build_session`` calls) actually hit.
+
+Each variant runs with tracing enabled and attaches the per-stage wall
+times from the recorded spans to ``benchmark.extra_info``, so the
+BENCH_world.json record carries the same stage breakdown a ``--trace``
+run prints -- the two can never disagree.
 """
 
 from repro import WorldConfig, build_session
+from repro.obs import trace
+from repro.pipeline import clear_all_caches
 from repro.synth import World
-from repro.synth.cache import clear_world_cache, get_world
+from repro.synth.cache import get_world
+
+#: Span names whose durations are recorded next to each benchmark.
+_STAGES = (
+    "pipeline.build_session",
+    "synth.generate_world",
+    "synth.build_context",
+    "synth.simulate_shards",
+    "synth.merge_shards",
+    "telemetry.collect",
+    "labeling.label_dataset",
+)
+
+
+def _stage_seconds():
+    """Per-stage wall times of the most recent traced run."""
+    return {
+        span.name: span.duration
+        for root in trace.finished_spans()
+        for span in root.iter()
+        if span.name in _STAGES
+    }
+
+
+def _traced(benchmark, func):
+    """Benchmark ``func`` with tracing on; record span stage timings."""
+    trace.enable()
+    try:
+        def run():
+            trace.reset()
+            return func()
+
+        result = benchmark(run)
+        benchmark.extra_info["stage_seconds"] = _stage_seconds()
+    finally:
+        trace.reset()
+        trace.disable()
+    return result
 
 
 def test_world_generation(benchmark):
     """Cold sequential generation + collection (no cache)."""
     config = WorldConfig(seed=3, scale=0.002)
-
-    def generate():
-        return World(config, jobs=1).collect()
-
-    dataset = benchmark(generate)
+    dataset = _traced(benchmark, lambda: World(config, jobs=1).collect())
     assert len(dataset.events) > 1000
 
 
 def test_world_generation_parallel(benchmark):
     """Cold generation with the sharded process-pool path (jobs=4)."""
     config = WorldConfig(seed=3, scale=0.002)
-
-    def generate():
-        return World(config, jobs=4).collect()
-
-    dataset = benchmark(generate)
+    dataset = _traced(benchmark, lambda: World(config, jobs=4).collect())
     assert len(dataset.events) > 1000
 
 
 def test_world_generation_cached(benchmark):
     """The cache-hit path: what repeat build_session callers pay."""
     config = WorldConfig(seed=3, scale=0.002)
-    clear_world_cache()
+    clear_all_caches()
     get_world(config)  # warm the session-level cache once
 
-    def generate():
-        return get_world(config).collect()
-
-    dataset = benchmark(generate)
+    dataset = _traced(benchmark, lambda: get_world(config).collect())
     assert len(dataset.events) > 1000
 
 
 def test_full_pipeline(benchmark):
     """Generation + collection + labeling, cache bypassed."""
     config = WorldConfig(seed=3, scale=0.002)
-    session = benchmark(build_session, config, cache=False)
+    session = _traced(
+        benchmark, lambda: build_session(config, cache=False)
+    )
     assert session.labeled.file_labels

@@ -25,7 +25,7 @@ Quickstart::
     print(render_table_i(session.labeled))
 """
 
-from . import analysis, core, labeling, reporting, synth, telemetry
+from . import analysis, core, labeling, obs, reporting, synth, telemetry
 from .core.evaluation import full_evaluation
 from .labeling.ground_truth import LabeledDataset, label_world
 from .labeling.labels import (
@@ -35,7 +35,7 @@ from .labeling.labels import (
     ProcessCategory,
     UrlLabel,
 )
-from .pipeline import Session, build_session
+from .pipeline import Session, build_session, clear_all_caches
 from .synth.world import World, WorldConfig, generate_dataset
 from .telemetry.dataset import TelemetryDataset
 
@@ -55,11 +55,13 @@ __all__ = [
     "__version__",
     "analysis",
     "build_session",
+    "clear_all_caches",
     "core",
     "full_evaluation",
     "generate_dataset",
     "label_world",
     "labeling",
+    "obs",
     "reporting",
     "synth",
     "telemetry",

@@ -1,16 +1,26 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro.cli generate --scale 0.01 --out corpus/
     python -m repro.cli report   --scale 0.01 --experiment table1 fig5
     python -m repro.cli rules    --scale 0.01 --train-month 0 --tau 0.001
     python -m repro.cli evaluate --scale 0.01 --out results/
+    python -m repro.cli run      --scale 0.01 --trace --metrics-out m.json
+    python -m repro.cli stats    --scale 0.01
 
 ``generate`` exports the telemetry corpus (and its ground truth) as
 JSONL; ``report`` renders any subset of the paper's tables/figures;
 ``rules`` prints the learned human-readable rules for one training
-month; ``evaluate`` runs the full Tables XVI/XVII experiment.
+month; ``evaluate`` runs the full Tables XVI/XVII experiment; ``run``
+executes the whole pipeline once (generate, collect, label, learn) and
+is the natural companion of the observability flags; ``stats`` prints
+the span tree and metrics snapshot for a run.
+
+Every world-building subcommand accepts ``--trace`` (print the span
+tree after the run) and ``--metrics-out PATH`` (write the metrics
+snapshot -- JSON, or Prometheus text for ``.prom``/``.txt`` paths --
+plus a ``<stem>.manifest.json`` run manifest alongside it).
 """
 
 from __future__ import annotations
@@ -18,11 +28,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from . import reporting
 from .core.evaluation import full_evaluation, learn_rules
+from .obs import manifest as obs_manifest
+from .obs import metrics as obs_metrics
+from .obs import trace as obs_trace
 from .pipeline import Session, build_session
 from .synth.world import WorldConfig
 from .telemetry.io import save_dataset
@@ -71,6 +85,53 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the world/session cache and always "
                              "regenerate")
+    parser.add_argument("--trace", action="store_true",
+                        help="record tracing spans and print the span tree "
+                             "after the run")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the metrics snapshot here (JSON, or "
+                             "Prometheus text for .prom/.txt paths) plus a "
+                             "<stem>.manifest.json run manifest alongside")
+
+
+def _world_config(args: argparse.Namespace) -> Optional[WorldConfig]:
+    """The world config an argparse namespace describes, if any."""
+    if not hasattr(args, "seed"):
+        return None
+    return WorldConfig(seed=args.seed, scale=args.scale, shards=args.shards)
+
+
+def _export_observability(args: argparse.Namespace,
+                          wall_seconds: float) -> None:
+    """Post-command observability output: metrics + manifest + span tree."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        out = Path(metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        registry = obs_metrics.get_registry()
+        if out.suffix in {".prom", ".txt"}:
+            out.write_text(registry.to_prometheus(), encoding="utf-8")
+        else:
+            out.write_text(registry.to_json() + "\n", encoding="utf-8")
+        manifest = obs_manifest.build_manifest(
+            command=args.command,
+            config=_world_config(args),
+            jobs=getattr(args, "jobs", None),
+            wall_seconds=wall_seconds,
+        )
+        manifest_path = manifest.write(
+            out.with_name(out.stem + ".manifest.json")
+        )
+        print(
+            f"wrote metrics snapshot to {out} and run manifest to "
+            f"{manifest_path}",
+            file=sys.stderr,
+        )
+    if getattr(args, "trace", False):
+        tree = obs_trace.render_tree()
+        if tree:
+            print("\n# trace")
+            print(tree)
 
 
 def _session(args: argparse.Namespace) -> Session:
@@ -214,6 +275,53 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    """End-to-end pipeline run: generate, collect, label, learn.
+
+    The observability showcase: with ``--trace`` the printed span tree
+    covers every stage; with ``--metrics-out`` the metrics snapshot and
+    run manifest land next to each other.
+    """
+    session = _session(args)
+    rules, training = learn_rules(session.labeled, session.alexa,
+                                  args.train_month)
+    selected = rules.select(args.tau)
+    labels = session.labeled.label_counts()
+    print(f"events reported:  {len(session.dataset.events)}")
+    print(f"files observed:   {len(session.dataset.files)}")
+    print(
+        "labels:           "
+        + ", ".join(
+            f"{label.value}={count}" for label, count in sorted(
+                labels.items(), key=lambda item: item[0].value
+            )
+        )
+    )
+    print(f"training files:   {len(training.instances)} "
+          f"(month {args.train_month})")
+    print(f"rules learned:    {len(rules)} "
+          f"({len(selected)} selected at tau={args.tau})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Observability report: run the pipeline, print spans + metrics."""
+    session = _session(args)
+    rules, _ = learn_rules(session.labeled, session.alexa, args.train_month)
+    print(f"# run: {len(session.dataset.events)} events, "
+          f"{len(session.dataset.files)} files, {len(rules)} rules")
+    print("\n# metrics")
+    snapshot = obs_metrics.get_registry().snapshot()
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"{name:<40s} {value:g}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        print(f"{name:<40s} {value:g}")
+    for name, hist in sorted(snapshot["histograms"].items()):
+        print(f"{name:<40s} count={hist['count']} sum={hist['sum']:.3f}")
+    # The span tree itself is printed by main(): stats forces --trace on.
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -277,13 +385,51 @@ def build_parser() -> argparse.ArgumentParser:
                           help="error thresholds (default: 0.0 0.001)")
     evaluate.add_argument("--out", help="optional output directory")
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    run = commands.add_parser(
+        "run",
+        help="run the whole pipeline once (generate, collect, label, "
+             "learn); pairs with --trace/--metrics-out",
+    )
+    _add_world_arguments(run)
+    run.add_argument("--train-month", type=int, default=0,
+                     help="0-based training month (default 0 = January)")
+    run.add_argument("--tau", type=float, default=0.001,
+                     help="max rule training error rate (default 0.001)")
+    run.set_defaults(func=_cmd_run)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run the pipeline and print its span tree and metrics "
+             "snapshot",
+    )
+    _add_world_arguments(stats)
+    stats.add_argument("--train-month", type=int, default=0,
+                       help="0-based training month (default 0 = January)")
+    stats.set_defaults(func=_cmd_stats, trace=True)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    tracing = getattr(args, "trace", False)
+    if tracing:
+        # Fresh tree per invocation: embedding callers (tests) may run
+        # several commands in one process.
+        obs_trace.reset()
+        obs_trace.enable()
+    start = time.perf_counter()
+    try:
+        status = args.func(args)
+        if status == 0:
+            _export_observability(
+                args, wall_seconds=time.perf_counter() - start
+            )
+    finally:
+        if tracing:
+            obs_trace.disable()
+    return status
 
 
 if __name__ == "__main__":

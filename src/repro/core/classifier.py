@@ -14,6 +14,8 @@ import enum
 from collections import Counter
 from typing import Optional, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .dataset import MALICIOUS_CLASS, Instance
 from .rules import RuleSet
 
@@ -117,8 +119,26 @@ class RuleBasedClassifier:
         """TP/FP evaluation over labeled instances.
 
         Following Section VI-D, rates are computed only over samples that
-        match at least one rule and are not rejected.
+        match at least one rule and are not rejected.  Aggregate counts
+        feed the metrics registry once per call -- :meth:`classify`
+        itself stays uninstrumented (it is the hot inner loop).
         """
+        with trace.span(
+            "core.classifier_evaluate",
+            instances=len(instances),
+            rules=len(self.rules),
+        ):
+            result = self._evaluate(instances)
+        obs_metrics.counter(
+            "classifier.decisions", "Instances run through rule matching"
+        ).inc(len(instances))
+        obs_metrics.counter(
+            "classifier.conflicts_rejected",
+            "Decisions rejected due to conflicting rules",
+        ).inc(result.rejected)
+        return result
+
+    def _evaluate(self, instances: Sequence[Instance]) -> EvaluationResult:
         malicious_matched = 0
         true_positives = 0
         benign_matched = 0

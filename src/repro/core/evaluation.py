@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.whitelists import AlexaService
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..telemetry.events import MONTH_NAMES, NUM_MONTHS
 from .classifier import ConflictPolicy, RuleBasedClassifier
 from .dataset import MALICIOUS_CLASS, TrainingSet, unknown_vectors
@@ -81,12 +83,15 @@ def learn_rules(
     month: int,
 ) -> Tuple[RuleSet, TrainingSet]:
     """Learn the full PART rule list from one month's labeled files."""
-    train_labeled = labeled.month_slice(month)
-    training = TrainingSet.from_labeled(train_labeled, alexa)
-    if not training.instances:
-        return RuleSet([]), training
-    learner = PartLearner(training.schema)
-    return learner.fit(training.instances), training
+    with trace.span("core.learn_rules", month=MONTH_NAMES[month]) as span:
+        train_labeled = labeled.month_slice(month)
+        training = TrainingSet.from_labeled(train_labeled, alexa)
+        if not training.instances:
+            return RuleSet([]), training
+        learner = PartLearner(training.schema)
+        rules = learner.fit(training.instances)
+        span.set_attribute("rules", len(rules))
+        return rules, training
 
 
 def evaluate_month_pair(
@@ -129,19 +134,29 @@ def evaluate_month_pair(
         unknown_malicious = 0
         unknown_benign = 0
         unknown_rejected = 0
-        for sha1, vector in unknowns.items():
-            decision = classifier.classify(vector.values)
-            if decision.rejected:
-                unknown_rejected += 1
-                decisions[sha1] = None
-                continue
-            decisions[sha1] = decision.label
-            if decision.label is not None:
-                matched += 1
-                if decision.label == MALICIOUS_CLASS:
-                    unknown_malicious += 1
-                else:
-                    unknown_benign += 1
+        with trace.span(
+            "core.classify_unknowns", tau=tau, unknowns=len(unknowns)
+        ):
+            for sha1, vector in unknowns.items():
+                decision = classifier.classify(vector.values)
+                if decision.rejected:
+                    unknown_rejected += 1
+                    decisions[sha1] = None
+                    continue
+                decisions[sha1] = decision.label
+                if decision.label is not None:
+                    matched += 1
+                    if decision.label == MALICIOUS_CLASS:
+                        unknown_malicious += 1
+                    else:
+                        unknown_benign += 1
+        obs_metrics.counter(
+            "classifier.decisions", "Instances run through rule matching"
+        ).inc(len(unknowns))
+        obs_metrics.counter(
+            "classifier.conflicts_rejected",
+            "Decisions rejected due to conflicting rules",
+        ).inc(unknown_rejected)
         extraction = RuleExtractionRow(
             train_month=MONTH_NAMES[train_month],
             tau=tau,
@@ -263,10 +278,11 @@ def full_evaluation(
         else list(range(NUM_MONTHS - 1))
     )
     runs: List[MonthlyEvaluation] = []
-    for month in months:
-        runs.extend(
-            evaluate_month_pair(labeled, alexa, month, taus, policy)
-        )
+    with trace.span("core.full_evaluation", months=len(months)):
+        for month in months:
+            runs.extend(
+                evaluate_month_pair(labeled, alexa, month, taus, policy)
+            )
     return FullEvaluation(runs=runs)
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .dataset import AttributeKind, AttributeSpec, Instance
 from .decision_tree import (
     DEFAULT_CF,
@@ -85,29 +87,34 @@ class PartLearner:
         and the Section VI-D tau filter would keep broad, error-prone
         rules.
         """
-        remaining = list(instances)
-        rules: List[Rule] = []
-        while remaining and len(rules) < self.max_rules:
-            root = self._expand(remaining, depth=0)
-            best = self._best_developed_leaf(root)
-            rule = Rule(
-                conditions=best.conditions,
-                prediction=best.leaf.prediction,
-                coverage=best.leaf.coverage,
-                errors=best.leaf.errors,
-            )
-            rules.append(rule)
-            before = len(remaining)
-            remaining = [
-                instance
-                for instance in remaining
-                if not rule.matches(instance.values)
-            ]
-            if len(remaining) == before:
-                raise AssertionError(
-                    "PART extracted a rule covering no instances; "
-                    "this indicates a partition/condition mismatch"
+        with trace.span("core.part_fit", instances=len(instances)) as span:
+            remaining = list(instances)
+            rules: List[Rule] = []
+            while remaining and len(rules) < self.max_rules:
+                root = self._expand(remaining, depth=0)
+                best = self._best_developed_leaf(root)
+                rule = Rule(
+                    conditions=best.conditions,
+                    prediction=best.leaf.prediction,
+                    coverage=best.leaf.coverage,
+                    errors=best.leaf.errors,
                 )
+                rules.append(rule)
+                before = len(remaining)
+                remaining = [
+                    instance
+                    for instance in remaining
+                    if not rule.matches(instance.values)
+                ]
+                if len(remaining) == before:
+                    raise AssertionError(
+                        "PART extracted a rule covering no instances; "
+                        "this indicates a partition/condition mismatch"
+                    )
+            span.set_attribute("rules", len(rules))
+        obs_metrics.counter(
+            "rules.learned", "PART rules extracted across all fits"
+        ).inc(len(rules))
         return RuleSet([
             self._restate(rule, instances) for rule in rules
         ])

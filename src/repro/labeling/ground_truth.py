@@ -23,6 +23,8 @@ import dataclasses
 from collections import Counter
 from typing import Dict, Optional, Set
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..telemetry.dataset import TelemetryDataset
 from .av import TRUSTED_ENGINES
 from .avclass import extract_family
@@ -170,6 +172,27 @@ class GroundTruthLabeler:
 
     def label_dataset(self, dataset: TelemetryDataset) -> LabeledDataset:
         """Label every file, process and URL of a dataset."""
+        with trace.span(
+            "labeling.label_dataset",
+            files=len(dataset.files),
+            processes=len(dataset.processes),
+        ):
+            labeled = self._label_dataset(dataset)
+        obs_metrics.counter(
+            "labeler.files_labeled", "File hashes run through the labeler"
+        ).inc(len(labeled.file_labels))
+        obs_metrics.counter(
+            "labeler.processes_labeled", "Process hashes labeled"
+        ).inc(len(labeled.process_labels))
+        obs_metrics.counter(
+            "labeler.urls_labeled", "Download URLs labeled"
+        ).inc(len(labeled.url_labels))
+        obs_metrics.counter(
+            "labeler.malicious_files", "Files labeled malicious"
+        ).inc(len(labeled.file_types))
+        return labeled
+
+    def _label_dataset(self, dataset: TelemetryDataset) -> LabeledDataset:
         file_labels = {
             sha1: self.label_hash(sha1) for sha1 in dataset.files
         }

@@ -23,7 +23,9 @@ from .labeling.ground_truth import (
     build_labeler,
 )
 from .labeling.whitelists import AlexaService
-from .synth.cache import config_digest, get_world
+from .obs import metrics as obs_metrics
+from .obs import trace
+from .synth.cache import clear_world_cache, config_digest, get_world
 from .synth.world import World, WorldConfig
 from .telemetry.dataset import TelemetryDataset
 
@@ -56,28 +58,63 @@ def build_session(
     """
     config = config or WorldConfig()
     digest = config_digest(config)
-    if cache:
-        session = _SESSIONS.get(digest)
-        if session is not None:
-            return session
-    world = get_world(config, jobs=jobs, cache=cache)
-    dataset = world.collect()
-    labeler = build_labeler(world, dataset)
-    labeled = labeler.label_dataset(dataset)
-    alexa = AlexaService.build(world.corpus.domains)
-    session = Session(
-        config=config,
-        world=world,
-        dataset=dataset,
-        labeled=labeled,
-        labeler=labeler,
-        alexa=alexa,
-    )
-    if cache:
-        _SESSIONS[digest] = session
+    with trace.span(
+        "pipeline.build_session",
+        seed=config.seed,
+        scale=config.scale,
+        digest=digest[:12],
+    ) as span:
+        if cache:
+            session = _SESSIONS.get(digest)
+            if session is not None:
+                obs_metrics.counter(
+                    "pipeline.session_cache_hits",
+                    "build_session calls served from the session memo",
+                ).inc()
+                span.set_attribute("session_cache", "hit")
+                return session
+        with trace.span("pipeline.generate"):
+            world = get_world(config, jobs=jobs, cache=cache)
+        with trace.span("pipeline.collect"):
+            dataset = world.collect()
+        with trace.span("pipeline.label"):
+            labeler = build_labeler(world, dataset)
+            labeled = labeler.label_dataset(dataset)
+        alexa = AlexaService.build(world.corpus.domains)
+        session = Session(
+            config=config,
+            world=world,
+            dataset=dataset,
+            labeled=labeled,
+            labeler=labeler,
+            alexa=alexa,
+        )
+        if cache:
+            _SESSIONS[digest] = session
+        obs_metrics.counter(
+            "pipeline.sessions_built", "Sessions built from scratch"
+        ).inc()
+        span.set_attribute("events", len(dataset.events))
     return session
 
 
 def clear_session_cache() -> None:
     """Drop all memoized sessions (worlds are cleared separately)."""
     _SESSIONS.clear()
+    obs_metrics.counter(
+        "cache.session_clears", "clear_session_cache invocations"
+    ).inc()
+
+
+def clear_all_caches(disk: bool = False) -> None:
+    """Drop every pipeline cache in one call.
+
+    Clears both the session memo *and* the world cache
+    (:func:`repro.synth.cache.clear_world_cache`), which
+    :func:`clear_session_cache` alone leaves populated.  ``disk=True``
+    additionally deletes on-disk world-cache entries.  Each layer's
+    clear is counted in the metrics registry (``cache.session_clears``,
+    ``cache.world_clears``).
+    """
+    clear_session_cache()
+    clear_world_cache(disk=disk)

@@ -31,6 +31,8 @@ import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional
 
+from ..obs import metrics as obs_metrics
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .world import World, WorldConfig
 
@@ -78,6 +80,9 @@ def _disk_load(digest: str) -> Optional["World"]:
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
         # A truncated or stale entry is treated as a miss; regeneration
         # will overwrite it.
+        obs_metrics.counter(
+            "cache.corrupt", "Unreadable on-disk world-cache entries"
+        ).inc()
         return None
 
 
@@ -95,6 +100,9 @@ def _disk_store(digest: str, world: "World") -> None:
         with os.fdopen(fd, "wb") as handle:
             pickle.dump(world, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp_name, path)
+        obs_metrics.counter(
+            "cache.disk_stores", "Worlds written to the on-disk cache"
+        ).inc()
     except OSError:
         # Caching is an optimization; a read-only or full disk must not
         # break generation.
@@ -115,13 +123,28 @@ def get_world(
     from .world import World  # runtime import: world imports engine/cache
 
     if not cache:
+        obs_metrics.counter(
+            "cache.bypasses", "get_world calls with caching disabled"
+        ).inc()
         return World(config, jobs=jobs)
     digest = config_digest(config)
     world = _MEMORY.get(digest)
     if world is not None:
+        obs_metrics.counter("cache.hits", "World-cache hits (any layer)").inc()
+        obs_metrics.counter(
+            "cache.memory_hits", "World-cache hits served from memory"
+        ).inc()
         return world
     world = _disk_load(digest)
-    if world is None:
+    if world is not None:
+        obs_metrics.counter("cache.hits", "World-cache hits (any layer)").inc()
+        obs_metrics.counter(
+            "cache.disk_hits", "World-cache hits served from disk"
+        ).inc()
+    else:
+        obs_metrics.counter(
+            "cache.misses", "World-cache misses (world regenerated)"
+        ).inc()
         world = World(config, jobs=jobs)
         _disk_store(digest, world)
     _MEMORY[digest] = world
@@ -131,6 +154,9 @@ def get_world(
 def clear_world_cache(disk: bool = False) -> None:
     """Drop the in-memory layer (and optionally the on-disk entries)."""
     _MEMORY.clear()
+    obs_metrics.counter(
+        "cache.world_clears", "clear_world_cache invocations"
+    ).inc()
     if disk:
         directory = cache_dir()
         if directory is None or not directory.is_dir():

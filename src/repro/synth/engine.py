@@ -37,6 +37,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..telemetry.collector import merge_sorted_streams
 from ..telemetry.events import DownloadEvent
 from .behavior import MachineFactory, ProcessEcosystem
@@ -266,27 +268,59 @@ def generate_world(
 
     Returns ``(context, corpus)``.  The corpus is bit-identical for a
     given ``(seed, scale, shards)`` triple whatever ``jobs`` is.
+    Instrumentation (spans, counters) reads clocks only -- it never
+    touches RNG state, so tracing cannot perturb the corpus.
     """
     workers = resolve_jobs(jobs, config.shards)
-    key = _context_key(config)
-    context = _CONTEXT_CACHE.get(key)
-    if context is None:
-        context = build_context(config)
-        _CONTEXT_CACHE[key] = context
-    try:
-        if workers <= 1:
-            results = [
-                simulate_shard(context, config, index)
-                for index in range(config.shards)
-            ]
-        else:
-            results = _run_parallel(config, workers)
-    finally:
-        # The memo exists to hand workers a pre-built context (via fork)
-        # and to dedupe rebuilds inside one worker process; the parent
-        # should not keep whole worlds alive across generate calls.
-        _CONTEXT_CACHE.pop(key, None)
-    return context, merge_shards(context, config, results)
+    with trace.span(
+        "synth.generate_world",
+        seed=config.seed,
+        scale=config.scale,
+        shards=config.shards,
+        jobs=workers,
+    ) as root:
+        key = _context_key(config)
+        context = _CONTEXT_CACHE.get(key)
+        if context is None:
+            with trace.span("synth.build_context") as ctx_span:
+                context = build_context(config)
+                ctx_span.set_attribute("machines", len(context.machines))
+            _CONTEXT_CACHE[key] = context
+        try:
+            if workers <= 1:
+                results = []
+                for index in range(config.shards):
+                    with trace.span("synth.shard", shard=index) as shard_span:
+                        result = simulate_shard(context, config, index)
+                        shard_span.set_attribute("events", len(result.events))
+                    results.append(result)
+            else:
+                # Per-shard spans live in the worker processes and are
+                # not collected; the fan-out span records the wall time
+                # the parent actually waits.
+                with trace.span(
+                    "synth.simulate_shards", workers=workers
+                ):
+                    results = _run_parallel(config, workers)
+        finally:
+            # The memo exists to hand workers a pre-built context (via fork)
+            # and to dedupe rebuilds inside one worker process; the parent
+            # should not keep whole worlds alive across generate calls.
+            _CONTEXT_CACHE.pop(key, None)
+        with trace.span("synth.merge_shards") as merge_span:
+            corpus = merge_shards(context, config, results)
+            merge_span.set_attribute("events", len(corpus.events))
+        obs_metrics.counter(
+            "world.events_generated", "Raw download events generated"
+        ).inc(len(corpus.events))
+        obs_metrics.counter(
+            "world.files_generated", "Distinct synthetic files generated"
+        ).inc(len(corpus.files))
+        obs_metrics.counter(
+            "world.shards_simulated", "Generation shards simulated"
+        ).inc(config.shards)
+        root.set_attribute("events", len(corpus.events))
+    return context, corpus
 
 
 def _run_parallel(config: "WorldConfig", workers: int) -> List[ShardResult]:

@@ -18,6 +18,8 @@ import heapq
 from operator import attrgetter
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .agent import ReportingPolicy, SoftwareAgent
 from .dataset import TelemetryDataset
 from .events import DownloadEvent, FileRecord, ProcessRecord
@@ -138,13 +140,28 @@ def collect(
     """One-call pipeline: raw events -> (dataset, filter stats).
 
     ``raw_events`` must be iterable in timestamp order (the simulator
-    guarantees this).
+    guarantees this).  Filter statistics feed the metrics registry once
+    per call -- the per-event submit loop stays uninstrumented.
     """
     server = CollectionServer(policy)
     submit = server.submit
-    for event in raw_events:
-        submit(event)
-    return server.dataset(files, processes), server.stats
+    with trace.span("telemetry.collect") as span:
+        for event in raw_events:
+            submit(event)
+        dataset = server.dataset(files, processes)
+        span.set_attribute("observed", server.stats.observed)
+        span.set_attribute("reported", server.stats.reported)
+    stats = server.stats
+    obs_metrics.counter(
+        "collector.events_observed", "Raw events submitted to the CS"
+    ).inc(stats.observed)
+    obs_metrics.counter(
+        "collector.events_reported", "Events surviving the reporting filters"
+    ).inc(stats.reported)
+    obs_metrics.counter(
+        "collector.events_dropped", "Events dropped by the reporting filters"
+    ).inc(stats.dropped)
+    return dataset, stats
 
 
 def collect_shards(

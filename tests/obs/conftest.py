@@ -1,0 +1,23 @@
+"""Observability tests get a clean slate around every test.
+
+The tracer and the metrics registry are process-wide singletons written
+to by the whole pipeline; resetting them here keeps obs tests order-
+independent of each other and of any pipeline test that ran earlier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability():
+    trace.reset()
+    trace.disable()
+    metrics.get_registry().reset()
+    yield
+    trace.reset()
+    trace.disable()
+    metrics.get_registry().reset()

@@ -110,3 +110,50 @@ class TestEvaluate:
         assert "Table XVI" in output and "Table XVII" in output
         assert (out / "table_xvi.txt").exists()
         assert (out / "table_xvii.txt").exists()
+
+
+class TestRun:
+    def test_trace_and_metrics_exports(self, tmp_path, capsys):
+        metrics_out = tmp_path / "obs" / "metrics.json"
+        # --no-cache so the span tree shows real stage work even when an
+        # earlier test already memoized this session in-process.
+        assert main(
+            ["run", *SCALE, "--no-cache", "--trace",
+             "--metrics-out", str(metrics_out)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "rules learned:" in output
+        # The printed span tree covers every pipeline stage.
+        for stage in ("pipeline.build_session", "synth.generate_world",
+                      "telemetry.collect", "labeling.label_dataset",
+                      "core.learn_rules"):
+            assert stage in output
+        # Metrics snapshot + run manifest written side by side.
+        snapshot = json.loads(metrics_out.read_text())
+        assert snapshot["counters"]["rules.learned"] >= 1
+        manifest = json.loads(
+            (tmp_path / "obs" / "metrics.manifest.json").read_text()
+        )
+        assert manifest["command"] == "run"
+        assert manifest["config"]["seed"] == 3
+        assert manifest["config_digest"]
+        assert manifest["wall_seconds"] > 0
+        assert manifest["spans"]
+        assert manifest["metrics"]["counters"]
+
+    def test_prometheus_export(self, tmp_path, capsys):
+        metrics_out = tmp_path / "metrics.prom"
+        assert main(["run", *SCALE, "--metrics-out", str(metrics_out)]) == 0
+        text = metrics_out.read_text()
+        assert "# TYPE" in text
+        assert "labeler_files_labeled_total" in text
+
+
+class TestStats:
+    def test_prints_span_tree_and_metrics(self, capsys):
+        assert main(["stats", *SCALE, "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "# metrics" in output
+        assert "# trace" in output
+        assert "pipeline.build_session" in output
+        assert "collector.events_reported" in output
