@@ -14,14 +14,14 @@ from .common import save_artifact
 
 
 def _sweep(rules, test_set, unknowns):
+    unknown_rows = [vector.values for vector in unknowns.values()]
     results = {}
     for policy in ConflictPolicy:
         classifier = RuleBasedClassifier(rules.select(0.001), policy)
         evaluation = classifier.evaluate(test_set.instances)
-        decisions = {
-            sha1: classifier.classify(vector.values)
-            for sha1, vector in unknowns.items()
-        }
+        decisions = dict(
+            zip(unknowns, classifier.classify_batch(unknown_rows))
+        )
         decided = {
             sha1: decision.label for sha1, decision in decisions.items()
         }

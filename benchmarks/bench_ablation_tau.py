@@ -11,14 +11,15 @@ TAUS = (0.0, 0.001, 0.005, 0.01, 0.05)
 
 
 def _sweep(session, rules, test_set, unknowns):
+    unknown_rows = [vector.values for vector in unknowns.values()]
     rows = []
     for tau in TAUS:
         selected = rules.select(tau)
         classifier = RuleBasedClassifier(selected)
         result = classifier.evaluate(test_set.instances)
         matched = sum(
-            1 for vector in unknowns.values()
-            if classifier.classify(vector.values).classified
+            1 for decision in classifier.classify_batch(unknown_rows)
+            if decision.classified
         )
         rows.append((tau, len(selected), result, matched))
     return rows

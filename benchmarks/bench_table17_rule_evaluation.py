@@ -7,7 +7,10 @@ from .common import save_artifact
 
 
 def test_table17_rule_evaluation(benchmark, session, evaluation):
-    # Time one full month-pair experiment (train Jan, test Feb, both taus).
+    # Time one full month-pair experiment (train Jan, test Feb, both
+    # taus).  learn_rules is memoized by content digest, so after the
+    # warm-up round this times rule *evaluation* -- the columnar batch
+    # classification of the test set and unknowns -- not PART learning.
     runs = benchmark(
         evaluate_month_pair, session.labeled, session.alexa, 0, (0.0, 0.001)
     )

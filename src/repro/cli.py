@@ -79,9 +79,10 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
                         help="deterministic generation shards; part of the "
                              "world's identity (default 8)")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="worker processes for generation (default: one "
-                             "per CPU core, capped at --shards); does not "
-                             "affect the generated world")
+                        help="worker processes for generation (and, for "
+                             "`evaluate`, the parallel month-pair fan-out); "
+                             "default: one per CPU core. Never affects the "
+                             "generated world or the evaluation rows")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the world/session cache and always "
                              "regenerate")
@@ -259,7 +260,8 @@ def _cmd_rules(args: argparse.Namespace) -> int:
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     session = _session(args)
     evaluation = full_evaluation(
-        session.labeled, session.alexa, taus=tuple(args.tau)
+        session.labeled, session.alexa, taus=tuple(args.tau),
+        jobs=args.jobs,
     )
     xvi = reporting.render_table_xvi(evaluation)
     xvii = reporting.render_table_xvii(evaluation)

@@ -11,7 +11,9 @@ from .classifier import (
     Decision,
     EvaluationResult,
     RuleBasedClassifier,
+    record_decision_metrics,
 )
+from .columnar import ColumnarRuleEvaluator, FeatureCodec
 from .dataset import (
     BENIGN_CLASS,
     CLASSES,
@@ -40,6 +42,7 @@ from .evaluation import (
     FullEvaluation,
     MonthlyEvaluation,
     RuleExtractionRow,
+    clear_rule_cache,
     evaluate_month_pair,
     full_evaluation,
     learn_rules,
@@ -80,6 +83,7 @@ __all__ = [
     "UNSIGNED",
     "AttributeKind",
     "AttributeSpec",
+    "ColumnarRuleEvaluator",
     "Condition",
     "ConflictPolicy",
     "Decision",
@@ -87,6 +91,7 @@ __all__ = [
     "DriftReport",
     "EvaluationResult",
     "EvaluationRow",
+    "FeatureCodec",
     "FeatureExtractor",
     "FeatureVector",
     "FullEvaluation",
@@ -105,6 +110,7 @@ __all__ = [
     "SplitSelector",
     "TrainingSet",
     "alexa_bin",
+    "clear_rule_cache",
     "drift_series",
     "entropy",
     "evaluate_month_pair",
@@ -117,6 +123,7 @@ __all__ = [
     "parse_rule",
     "parse_rules",
     "pessimistic_added_errors",
+    "record_decision_metrics",
     "resign_fresh",
     "resign_stolen",
     "strip_signatures",

@@ -5,6 +5,19 @@ several rules.  When matching rules disagree, the paper's system
 "rejects" the file -- it refuses to classify rather than risk an error.
 Alternative conflict policies (majority vote, first match) are provided
 for the ablation benchmarks.
+
+Two execution paths produce identical decisions:
+
+* :meth:`RuleBasedClassifier.classify` -- the scalar reference: walk
+  every rule per instance;
+* the **columnar fast path** (:mod:`repro.core.columnar`) -- used
+  automatically by :meth:`RuleBasedClassifier.classify_batch` and
+  :meth:`RuleBasedClassifier.evaluate` when numpy is available and every
+  condition is a categorical equality: feature values are interned to
+  integer codes, rules compile to per-feature allowed-code masks, and
+  identical feature tuples are deduplicated (``np.unique``) so each
+  distinct tuple is resolved once.  ``fast=False`` forces the scalar
+  path (the equivalence tests compare the two).
 """
 
 from __future__ import annotations
@@ -12,11 +25,12 @@ from __future__ import annotations
 import dataclasses
 import enum
 from collections import Counter
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace
-from .dataset import MALICIOUS_CLASS, Instance
+from . import columnar
+from .dataset import BENIGN_CLASS, MALICIOUS_CLASS, Instance
 from .rules import RuleSet
 
 
@@ -76,19 +90,67 @@ class EvaluationResult:
         )
 
 
+def record_decision_metrics(decisions: int, rejected: int) -> None:
+    """Feed the shared decision/conflict counters.
+
+    One helper for every call site that batch-classifies (labeled test
+    sets in :meth:`RuleBasedClassifier.evaluate`, unknown files in
+    :func:`repro.core.evaluation.evaluate_month_pair`) so the counter
+    names and descriptions cannot drift apart.
+    """
+    obs_metrics.counter(
+        "classifier.decisions", "Instances run through rule matching"
+    ).inc(decisions)
+    obs_metrics.counter(
+        "classifier.conflicts_rejected",
+        "Decisions rejected due to conflicting rules",
+    ).inc(rejected)
+
+
+def _record_fast_path_metrics(batch: columnar.MatchedBatch) -> None:
+    obs_metrics.counter(
+        "classifier.fast_path_rows",
+        "Rows classified via the columnar fast path",
+    ).inc(batch.n_rows)
+    obs_metrics.counter(
+        "classifier.unique_rows",
+        "Distinct feature tuples resolved after row dedup",
+    ).inc(batch.n_unique)
+
+
+#: Maps columnar label codes back to class-label strings.
+_LABEL_FROM_CODE = {
+    columnar.LABEL_MALICIOUS: MALICIOUS_CLASS,
+    columnar.LABEL_BENIGN: BENIGN_CLASS,
+    columnar.LABEL_NONE: None,
+}
+
+
 class RuleBasedClassifier:
-    """Applies a selected rule set with a conflict policy."""
+    """Applies a selected rule set with a conflict policy.
+
+    ``fast`` selects the execution path for batch entry points: ``None``
+    (default) auto-detects -- columnar when numpy is importable and the
+    rules are categorical-equality only, scalar otherwise; ``False``
+    forces the scalar reference path.  Both paths are decision-for-
+    decision identical (property-tested).  The rule set is snapshotted
+    by the fast path on first batch call; mutating ``rules`` afterwards
+    requires a fresh classifier.
+    """
 
     def __init__(
         self,
         rules: RuleSet,
         policy: ConflictPolicy = ConflictPolicy.REJECT,
+        fast: Optional[bool] = None,
     ) -> None:
         self.rules = rules
         self.policy = policy
+        self._fast = fast
+        self._evaluator: Optional[columnar.ColumnarRuleEvaluator] = None
 
     def classify(self, values: Sequence) -> Decision:
-        """Classify one feature-value tuple."""
+        """Classify one feature-value tuple (scalar reference path)."""
         matched = tuple(
             rule for rule in self.rules if rule.matches(values)
         )
@@ -115,28 +177,79 @@ class RuleBasedClassifier:
             label=ranked[0][0], matched_rules=matched, rejected=False
         )
 
+    def _match_batch(
+        self, rows: Sequence[Sequence]
+    ) -> Optional[columnar.MatchedBatch]:
+        """Columnar match for a batch, or ``None`` -> scalar fallback."""
+        if self._fast is False or not columnar.HAVE_NUMPY:
+            return None
+        if self._evaluator is None:
+            self._evaluator = columnar.ColumnarRuleEvaluator(self.rules.rules)
+        return self._evaluator.match_rows(rows)
+
+    def classify_batch(self, rows: Sequence[Sequence]) -> List[Decision]:
+        """Classify many feature-value tuples at once.
+
+        Returns one :class:`Decision` per row, in order, identical to
+        calling :meth:`classify` on each row.  On the fast path each
+        distinct feature tuple is resolved once and its decision shared
+        by every duplicate row.
+        """
+        rows = list(rows)
+        batch = self._match_batch(rows)
+        if batch is None:
+            return [self.classify(values) for values in rows]
+        _record_fast_path_metrics(batch)
+        labels, rejected = batch.unique_resolve(self.policy.value)
+        evaluator_rules = self._evaluator.rules
+        unique_decisions = [
+            Decision(
+                label=_LABEL_FROM_CODE[int(labels[column])],
+                matched_rules=tuple(
+                    evaluator_rules[index]
+                    for index in batch.matched_rule_indices(column)
+                ),
+                rejected=bool(rejected[column]),
+            )
+            for column in range(batch.n_unique)
+        ]
+        return [unique_decisions[column] for column in batch.inverse]
+
     def evaluate(self, instances: Sequence[Instance]) -> EvaluationResult:
         """TP/FP evaluation over labeled instances.
 
         Following Section VI-D, rates are computed only over samples that
-        match at least one rule and are not rejected.  Aggregate counts
-        feed the metrics registry once per call -- :meth:`classify`
-        itself stays uninstrumented (it is the hot inner loop).
+        match at least one rule and are not rejected.  Uses the columnar
+        fast path when available (see the module docstring); aggregate
+        counts feed the metrics registry once per call -- the inner
+        matching loops stay uninstrumented.
         """
         with trace.span(
             "core.classifier_evaluate",
             instances=len(instances),
             rules=len(self.rules),
-        ):
-            result = self._evaluate(instances)
-        obs_metrics.counter(
-            "classifier.decisions", "Instances run through rule matching"
-        ).inc(len(instances))
-        obs_metrics.counter(
-            "classifier.conflicts_rejected",
-            "Decisions rejected due to conflicting rules",
-        ).inc(result.rejected)
+        ) as span:
+            batch = (
+                self._match_batch([inst.values for inst in instances])
+                if instances else None
+            )
+            span.set_attribute("fast_path", batch is not None)
+            if batch is None:
+                result = self._evaluate(instances)
+            else:
+                span.set_attribute("unique_rows", batch.n_unique)
+                _record_fast_path_metrics(batch)
+                result = self._evaluate_batch(instances, batch)
+        record_decision_metrics(len(instances), result.rejected)
         return result
+
+    def evaluate_scalar(self, instances: Sequence[Instance]) -> EvaluationResult:
+        """The scalar reference evaluation (no counters, no fast path).
+
+        Kept public so equivalence tests and benchmarks can pin the
+        baseline regardless of the ``fast`` setting.
+        """
+        return self._evaluate(instances)
 
     def _evaluate(self, instances: Sequence[Instance]) -> EvaluationResult:
         malicious_matched = 0
@@ -173,4 +286,48 @@ class RuleBasedClassifier:
             rejected=rejected,
             unmatched=unmatched,
             fp_rules=tuple(fp_rules),
+        )
+
+    def _evaluate_batch(
+        self,
+        instances: Sequence[Instance],
+        batch: columnar.MatchedBatch,
+    ) -> EvaluationResult:
+        """Columnar TP/FP accounting; count-for-count equal to scalar.
+
+        ``fp_rules`` come out in deterministic rule order (the scalar
+        path's set iteration order is hash-dependent); consumers treat
+        the tuple as a set.
+        """
+        np = columnar.np
+        labels, row_rejected = batch.resolve(self.policy.value)
+        row_matched = batch.matched_any()
+        instance_malicious = np.fromiter(
+            (inst.label == MALICIOUS_CLASS for inst in instances),
+            dtype=bool,
+            count=len(instances),
+        )
+        classified = row_matched & ~row_rejected
+        labeled_malicious = labels == columnar.LABEL_MALICIOUS
+        false_positive_rows = ~instance_malicious & labeled_malicious
+        fp_rule_indices: set = set()
+        for column in np.unique(batch.inverse[false_positive_rows]):
+            indices = batch.matched_rule_indices(int(column))
+            fp_rule_indices.update(
+                int(index)
+                for index in indices[batch.is_malicious[indices]]
+            )
+        evaluator_rules = self._evaluator.rules
+        return EvaluationResult(
+            malicious_matched=int((instance_malicious & classified).sum()),
+            true_positives=int(
+                (instance_malicious & labeled_malicious).sum()
+            ),
+            benign_matched=int((~instance_malicious & classified).sum()),
+            false_positives=int(false_positive_rows.sum()),
+            rejected=int(row_rejected.sum()),
+            unmatched=int((~row_matched).sum()),
+            fp_rules=tuple(
+                evaluator_rules[index] for index in sorted(fp_rule_indices)
+            ),
         )

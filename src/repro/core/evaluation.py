@@ -14,11 +14,26 @@ The module also computes the Section VII rule-introspection statistics
 (feature usage, single-condition fraction, label-expansion factor) and --
 a capability the original authors did not have -- validation of the
 unknown-file decisions against the synthetic world's latent truth.
+
+Performance shape (this is the pipeline's batch-scoring hot path):
+
+* classification runs through the columnar fast path of
+  :mod:`repro.core.columnar` (interned features, compiled rule masks,
+  row dedup) -- the scalar walk stays as the reference implementation;
+* the six ``(T_tr, T_ts)`` experiments are independent, so
+  :func:`full_evaluation` can fan them out over a process pool
+  (``jobs``), with a sequential fallback producing identical rows;
+* :func:`learn_rules` memoizes learned rule lists by the content digest
+  of ``(labeled, alexa, month)``, so tau sweeps and ablation benches
+  stop re-learning identical rule lists.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
@@ -26,7 +41,11 @@ from ..labeling.whitelists import AlexaService
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..telemetry.events import MONTH_NAMES, NUM_MONTHS
-from .classifier import ConflictPolicy, RuleBasedClassifier
+from .classifier import (
+    ConflictPolicy,
+    RuleBasedClassifier,
+    record_decision_metrics,
+)
 from .dataset import MALICIOUS_CLASS, TrainingSet, unknown_vectors
 from .part import PartLearner
 from .rules import RuleSet
@@ -77,21 +96,63 @@ class MonthlyEvaluation:
     unknown_decisions: Dict[str, Optional[str]]
 
 
+#: Learned-rule memo: (labeled digest, alexa digest, month) -> result.
+#: Entries hold the canonical RuleSet/TrainingSet; callers get shallow
+#: copies so mutating a returned rule list cannot corrupt the memo.
+_RULE_MEMO: Dict[Tuple[str, str, int], Tuple[RuleSet, TrainingSet]] = {}
+
+
+def clear_rule_cache() -> None:
+    """Drop every memoized learn_rules result."""
+    _RULE_MEMO.clear()
+    obs_metrics.counter(
+        "cache.rule_clears", "clear_rule_cache invocations"
+    ).inc()
+
+
+def _memo_copies(
+    entry: Tuple[RuleSet, TrainingSet]
+) -> Tuple[RuleSet, TrainingSet]:
+    rules, training = entry
+    return (
+        RuleSet(list(rules.rules)),
+        TrainingSet(schema=training.schema, instances=list(training.instances)),
+    )
+
+
 def learn_rules(
     labeled: LabeledDataset,
     alexa: AlexaService,
     month: int,
 ) -> Tuple[RuleSet, TrainingSet]:
-    """Learn the full PART rule list from one month's labeled files."""
+    """Learn the full PART rule list from one month's labeled files.
+
+    Results are memoized by the content digests of ``labeled`` and
+    ``alexa`` plus the month, so repeated calls (tau sweeps, ablations,
+    every benchmark sharing one session) pay for PART once.  The memo is
+    cleared by :func:`clear_rule_cache` /
+    :func:`repro.pipeline.clear_all_caches`.
+    """
+    key = (labeled.content_digest(), alexa.content_digest(), month)
     with trace.span("core.learn_rules", month=MONTH_NAMES[month]) as span:
+        cached = _RULE_MEMO.get(key)
+        if cached is not None:
+            obs_metrics.counter(
+                "rules.cache_hits", "learn_rules calls served from the memo"
+            ).inc()
+            span.set_attribute("rule_cache", "hit")
+            span.set_attribute("rules", len(cached[0]))
+            return _memo_copies(cached)
         train_labeled = labeled.month_slice(month)
         training = TrainingSet.from_labeled(train_labeled, alexa)
         if not training.instances:
-            return RuleSet([]), training
-        learner = PartLearner(training.schema)
-        rules = learner.fit(training.instances)
+            rules = RuleSet([])
+        else:
+            learner = PartLearner(training.schema)
+            rules = learner.fit(training.instances)
         span.set_attribute("rules", len(rules))
-        return rules, training
+        _RULE_MEMO[key] = (rules, training)
+        return _memo_copies((rules, training))
 
 
 def evaluate_month_pair(
@@ -122,6 +183,7 @@ def evaluate_month_pair(
     unknowns = unknown_vectors(
         test_labeled, alexa, exclude_sha1s=train_all_shas
     )
+    unknown_rows = [vector.values for vector in unknowns.values()]
 
     results = []
     for tau in taus:
@@ -137,26 +199,20 @@ def evaluate_month_pair(
         with trace.span(
             "core.classify_unknowns", tau=tau, unknowns=len(unknowns)
         ):
-            for sha1, vector in unknowns.items():
-                decision = classifier.classify(vector.values)
-                if decision.rejected:
-                    unknown_rejected += 1
-                    decisions[sha1] = None
-                    continue
-                decisions[sha1] = decision.label
-                if decision.label is not None:
-                    matched += 1
-                    if decision.label == MALICIOUS_CLASS:
-                        unknown_malicious += 1
-                    else:
-                        unknown_benign += 1
-        obs_metrics.counter(
-            "classifier.decisions", "Instances run through rule matching"
-        ).inc(len(unknowns))
-        obs_metrics.counter(
-            "classifier.conflicts_rejected",
-            "Decisions rejected due to conflicting rules",
-        ).inc(unknown_rejected)
+            unknown_decisions = classifier.classify_batch(unknown_rows)
+        for sha1, decision in zip(unknowns, unknown_decisions):
+            if decision.rejected:
+                unknown_rejected += 1
+                decisions[sha1] = None
+                continue
+            decisions[sha1] = decision.label
+            if decision.label is not None:
+                matched += 1
+                if decision.label == MALICIOUS_CLASS:
+                    unknown_malicious += 1
+                else:
+                    unknown_benign += 1
+        record_decision_metrics(len(unknowns), unknown_rejected)
         extraction = RuleExtractionRow(
             train_month=MONTH_NAMES[train_month],
             tau=tau,
@@ -265,25 +321,99 @@ class FullEvaluation:
         ) / len(runs)
 
 
+def _month_pair_worker(
+    labeled: LabeledDataset,
+    alexa: AlexaService,
+    train_month: int,
+    taus: Sequence[float],
+    policy: ConflictPolicy,
+) -> List[MonthlyEvaluation]:
+    """Process-pool entry point: one month pair, all taus."""
+    return evaluate_month_pair(labeled, alexa, train_month, taus, policy)
+
+
 def full_evaluation(
     labeled: LabeledDataset,
     alexa: AlexaService,
     taus: Sequence[float] = DEFAULT_TAUS,
     policy: ConflictPolicy = ConflictPolicy.REJECT,
     train_months: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = 1,
 ) -> FullEvaluation:
-    """Run every consecutive month pair (Jan-Feb ... Jun-Jul)."""
+    """Run every consecutive month pair (Jan-Feb ... Jun-Jul).
+
+    The month pairs are independent experiments; ``jobs > 1`` fans them
+    out over a process pool (``None`` means one worker per core), the
+    same pattern as the generation engine in
+    :mod:`repro.synth.engine`.  Runs are returned in month order
+    whatever ``jobs`` is, and the rows are identical to a sequential
+    run (guarded by tests); spans and counters recorded inside workers
+    stay in those processes.
+    """
     months = (
         list(train_months) if train_months is not None
         else list(range(NUM_MONTHS - 1))
     )
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    workers = min(jobs, max(1, len(months)))
     runs: List[MonthlyEvaluation] = []
-    with trace.span("core.full_evaluation", months=len(months)):
-        for month in months:
-            runs.extend(
-                evaluate_month_pair(labeled, alexa, month, taus, policy)
-            )
+    with trace.span(
+        "core.full_evaluation", months=len(months), jobs=workers
+    ):
+        if workers <= 1 or len(months) <= 1:
+            for month in months:
+                runs.extend(
+                    evaluate_month_pair(labeled, alexa, month, taus, policy)
+                )
+        else:
+            for result in _evaluate_months_parallel(
+                labeled, alexa, months, taus, policy, workers
+            ):
+                runs.extend(result)
     return FullEvaluation(runs=runs)
+
+
+def _evaluate_months_parallel(
+    labeled: LabeledDataset,
+    alexa: AlexaService,
+    months: Sequence[int],
+    taus: Sequence[float],
+    policy: ConflictPolicy,
+    workers: int,
+) -> List[List[MonthlyEvaluation]]:
+    """Fan month pairs over a process pool; fall back to sequential.
+
+    Any :class:`OSError` while setting up multiprocessing (no /dev/shm,
+    seccomp'd clone, ...) degrades to the in-process path, which
+    produces identical results by construction.
+    """
+    mp_context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        mp_context = multiprocessing.get_context("fork")
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _month_pair_worker, labeled, alexa, month, taus, policy
+                )
+                for month in months
+            ]
+            results = [future.result() for future in futures]
+    except (OSError, PermissionError):
+        return [
+            evaluate_month_pair(labeled, alexa, month, taus, policy)
+            for month in months
+        ]
+    obs_metrics.counter(
+        "eval.month_pairs_parallel",
+        "Month-pair experiments evaluated via the process pool",
+    ).inc(len(months))
+    return results
 
 
 def validate_against_latent(

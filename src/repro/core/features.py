@@ -31,6 +31,12 @@ FEATURE_NAMES: Tuple[str, ...] = (
     "alexa_bin",
 )
 
+#: Feature-name -> attribute-index lookup (``FEATURE_NAMES.index`` is an
+#: O(n) list scan; ``value()`` sits on hot introspection paths).
+_FEATURE_INDEX: Dict[str, int] = {
+    name: index for index, name in enumerate(FEATURE_NAMES)
+}
+
 #: Sentinel feature values for absent properties.
 UNSIGNED = "<unsigned>"
 UNPACKED = "<unpacked>"
@@ -78,7 +84,10 @@ class FeatureVector:
 
     def value(self, feature: str) -> str:
         """Value of one named feature."""
-        return self.values[FEATURE_NAMES.index(feature)]
+        index = _FEATURE_INDEX.get(feature)
+        if index is None:
+            raise ValueError(f"unknown feature {feature!r}")
+        return self.values[index]
 
     def as_dict(self) -> Dict[str, str]:
         """Feature-name -> value mapping."""
@@ -141,7 +150,5 @@ class FeatureExtractor:
 
 
 def _first_events(labeled: LabeledDataset) -> Dict[str, DownloadEvent]:
-    first: Dict[str, DownloadEvent] = {}
-    for event in labeled.dataset.events:
-        first.setdefault(event.file_sha1, event)
-    return first
+    """First reported event per file -- cached on the labeled dataset."""
+    return labeled.first_events()

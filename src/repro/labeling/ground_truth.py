@@ -20,8 +20,12 @@ the input to every analysis module.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections import Counter
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.events import DownloadEvent
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace
@@ -86,6 +90,46 @@ class LabeledDataset:
     def url_label_counts(self) -> Counter:
         """Counter of URL labels."""
         return Counter(self.url_labels.values())
+
+    def first_events(self) -> Dict[str, "DownloadEvent"]:
+        """First reported download event per file hash.
+
+        Feature extraction describes each file by its *first* event;
+        deriving the map walks every event, so it is computed once per
+        labeled dataset and cached (the cache is a plain instance
+        attribute, invisible to dataclass equality).
+        """
+        cached = self.__dict__.get("_first_events")
+        if cached is None:
+            cached = {}
+            for event in self.dataset.events:
+                cached.setdefault(event.file_sha1, event)
+            self.__dict__["_first_events"] = cached
+        return cached
+
+    def content_digest(self) -> str:
+        """Canonical digest of the telemetry content plus every label.
+
+        Used as a memo key (e.g. the :func:`repro.core.evaluation
+        .learn_rules` rule cache): two labeled datasets with equal
+        digests yield identical training sets.  Computed once per
+        instance and cached.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(self.dataset.content_digest().encode())
+            for sha in sorted(self.file_labels):
+                digest.update(
+                    f"f|{sha}|{self.file_labels[sha].value}\n".encode()
+                )
+            for sha in sorted(self.process_labels):
+                digest.update(
+                    f"p|{sha}|{self.process_labels[sha].value}\n".encode()
+                )
+            cached = digest.hexdigest()
+            self.__dict__["_content_digest"] = cached
+        return cached
 
     def month_slice(self, month: int) -> "LabeledDataset":
         """This labeled dataset restricted to one collection month.

@@ -97,6 +97,19 @@ class AlexaService:
         """The domain's Alexa rank, or ``None`` if unranked."""
         return self._ranks.get(e2ld)
 
+    def content_digest(self) -> str:
+        """Stable digest of the rank table (memo keys; cached)."""
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            for name in sorted(self._ranks):
+                digest.update(f"{name}|{self._ranks[name]}\n".encode())
+            cached = digest.hexdigest()
+            self.__dict__["_content_digest"] = cached
+        return cached
+
     def in_top_million(self, e2ld: str) -> bool:
         rank = self.rank(e2ld)
         return rank is not None and rank <= 1_000_000

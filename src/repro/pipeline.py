@@ -109,12 +109,16 @@ def clear_session_cache() -> None:
 def clear_all_caches(disk: bool = False) -> None:
     """Drop every pipeline cache in one call.
 
-    Clears both the session memo *and* the world cache
-    (:func:`repro.synth.cache.clear_world_cache`), which
+    Clears the session memo, the world cache
+    (:func:`repro.synth.cache.clear_world_cache`) and the learned-rule
+    memo (:func:`repro.core.evaluation.clear_rule_cache`), which
     :func:`clear_session_cache` alone leaves populated.  ``disk=True``
     additionally deletes on-disk world-cache entries.  Each layer's
     clear is counted in the metrics registry (``cache.session_clears``,
-    ``cache.world_clears``).
+    ``cache.world_clears``, ``cache.rule_clears``).
     """
+    from .core.evaluation import clear_rule_cache
+
     clear_session_cache()
     clear_world_cache(disk=disk)
+    clear_rule_cache()

@@ -1,0 +1,322 @@
+"""The columnar fast path must equal the scalar reference exactly.
+
+The speedup claim of :mod:`repro.core.columnar` is only worth anything
+if Tables XVI/XVII stay bit-identical, so these tests compare the two
+paths decision for decision on randomized rule/row matrices (all three
+conflict policies), on edge cases the broadcasting is most likely to
+get wrong, and on real learned rules over a synthetic session.  The
+``fp_rules`` tuple is compared as a *set*: the scalar path emits hash
+iteration order, the fast path deterministic rule order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import columnar
+from repro.core.classifier import ConflictPolicy, RuleBasedClassifier
+from repro.core.columnar import ColumnarRuleEvaluator, FeatureCodec
+from repro.core.dataset import (
+    BENIGN_CLASS,
+    MALICIOUS_CLASS,
+    TABLE_XV_SCHEMA,
+    AttributeKind,
+    Instance,
+    TrainingSet,
+    unknown_vectors,
+)
+from repro.core.evaluation import (
+    clear_rule_cache,
+    full_evaluation,
+    learn_rules,
+)
+from repro.core.rules import Condition, Rule, RuleSet
+from repro.obs import metrics as obs_metrics
+
+WIDTH = 4
+VOCAB = ("alpha", "beta", "gamma", "delta")
+POLICIES = list(ConflictPolicy)
+
+
+def _condition(attribute: int, value: str) -> Condition:
+    return Condition(
+        feature=f"f{attribute}",
+        attribute=attribute,
+        kind=AttributeKind.CATEGORICAL,
+        operator="==",
+        value=value,
+    )
+
+
+def _random_rules(rng: random.Random, count: int) -> RuleSet:
+    rules = []
+    for _ in range(count):
+        attributes = rng.sample(range(WIDTH), rng.randint(1, WIDTH))
+        conditions = tuple(
+            _condition(attribute, rng.choice(VOCAB))
+            for attribute in attributes
+        )
+        coverage = rng.randint(1, 50)
+        rules.append(
+            Rule(
+                conditions=conditions,
+                prediction=rng.choice((BENIGN_CLASS, MALICIOUS_CLASS)),
+                coverage=coverage,
+                errors=rng.randint(0, coverage),
+            )
+        )
+    return RuleSet(rules)
+
+
+def _random_rows(rng: random.Random, count: int):
+    # "omega" never appears in any rule: rows carrying it exercise the
+    # unseen-value branches of codec and mask compilation.
+    values = VOCAB + ("omega",)
+    return [
+        tuple(rng.choice(values) for _ in range(WIDTH))
+        for _ in range(count)
+    ]
+
+
+def _assert_same_decisions(scalar_decisions, fast_decisions):
+    assert len(scalar_decisions) == len(fast_decisions)
+    for scalar, fast in zip(scalar_decisions, fast_decisions):
+        assert scalar.label == fast.label
+        assert scalar.rejected == fast.rejected
+        assert scalar.matched_rules == fast.matched_rules
+
+
+def _assert_same_evaluation(scalar, fast):
+    assert scalar.malicious_matched == fast.malicious_matched
+    assert scalar.true_positives == fast.true_positives
+    assert scalar.benign_matched == fast.benign_matched
+    assert scalar.false_positives == fast.false_positives
+    assert scalar.rejected == fast.rejected
+    assert scalar.unmatched == fast.unmatched
+    assert set(scalar.fp_rules) == set(fast.fp_rules)
+
+
+class TestFeatureCodec:
+    def test_interning_is_stable(self):
+        codec = FeatureCodec()
+        rows = [("a", "x"), ("b", "x"), ("a", "y")]
+        codes = codec.encode_rows(rows)
+        assert codes.shape == (3, 2)
+        again = codec.encode_rows(rows)
+        assert (codes == again).all()
+        assert codec.code_of(0, "a") == codes[0, 0]
+        assert codec.code_of(1, "y") == codes[2, 1]
+
+    def test_version_bumps_only_on_growth(self):
+        codec = FeatureCodec()
+        codec.encode_rows([("a", "x")])
+        version = codec.version
+        codec.encode_rows([("a", "x")])
+        assert codec.version == version
+        codec.encode_rows([("a", "z")])
+        assert codec.version == version + 1
+
+    def test_values_compared_by_str(self):
+        # Scalar Condition.matches compares str(actual) == str(value);
+        # the codec must intern through the same lens.
+        codec = FeatureCodec()
+        codes = codec.encode_rows([(5,), ("5",)])
+        assert codes[0, 0] == codes[1, 0]
+        assert codec.code_of(0, 5) == codec.code_of(0, "5")
+
+    def test_width_fixed_by_first_batch(self):
+        codec = FeatureCodec()
+        codec.encode_rows([("a", "b")])
+        with pytest.raises(ValueError):
+            codec.encode_rows([("a",)])
+        assert codec.code_of(7, "a") is None
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_classify_batch_equals_scalar(self, seed, policy):
+        rng = random.Random(seed)
+        rules = _random_rules(rng, rng.randint(1, 20))
+        rows = _random_rows(rng, rng.randint(1, 120))
+        fast = RuleBasedClassifier(rules, policy)
+        scalar = RuleBasedClassifier(rules, policy, fast=False)
+        _assert_same_decisions(
+            [scalar.classify(row) for row in rows],
+            fast.classify_batch(rows),
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_evaluate_equals_scalar(self, seed, policy):
+        rng = random.Random(1000 + seed)
+        rules = _random_rules(rng, rng.randint(1, 20))
+        instances = [
+            Instance(
+                values=row,
+                label=rng.choice((BENIGN_CLASS, MALICIOUS_CLASS)),
+            )
+            for row in _random_rows(rng, rng.randint(1, 120))
+        ]
+        classifier = RuleBasedClassifier(rules, policy)
+        _assert_same_evaluation(
+            classifier.evaluate_scalar(instances),
+            classifier.evaluate(instances),
+        )
+
+
+class TestEdgeCases:
+    def test_empty_ruleset(self):
+        classifier = RuleBasedClassifier(RuleSet([]))
+        rows = [("alpha",) * WIDTH, ("beta",) * WIDTH]
+        for decision in classifier.classify_batch(rows):
+            assert decision.label is None
+            assert not decision.matched
+            assert not decision.rejected
+
+    def test_empty_batch(self):
+        rules = _random_rules(random.Random(3), 5)
+        assert RuleBasedClassifier(rules).classify_batch([]) == []
+
+    def test_all_rows_unmatched(self):
+        rules = RuleSet([_rule_for(("alpha", "alpha", "alpha", "alpha"))])
+        rows = [("omega",) * WIDTH] * 10
+        classifier = RuleBasedClassifier(rules)
+        decisions = classifier.classify_batch(rows)
+        assert all(not decision.matched for decision in decisions)
+        result = classifier.evaluate(
+            [Instance(values=row, label=BENIGN_CLASS) for row in rows]
+        )
+        assert result.unmatched == 10
+        assert result.benign_matched == 0
+
+    def test_default_rule_matches_everything(self):
+        default = Rule(
+            conditions=(), prediction=MALICIOUS_CLASS, coverage=5, errors=0
+        )
+        classifier = RuleBasedClassifier(RuleSet([default]))
+        for decision in classifier.classify_batch(_random_rows(
+            random.Random(4), 20
+        )):
+            assert decision.label == MALICIOUS_CLASS
+            assert decision.matched_rules == (default,)
+
+    def test_numeric_rules_fall_back_to_scalar(self):
+        numeric = Rule(
+            conditions=(
+                Condition(
+                    feature="n0",
+                    attribute=0,
+                    kind=AttributeKind.NUMERIC,
+                    operator="<=",
+                    value=3,
+                ),
+            ),
+            prediction=MALICIOUS_CLASS,
+            coverage=5,
+            errors=0,
+        )
+        classifier = RuleBasedClassifier(RuleSet([numeric]))
+        decisions = classifier.classify_batch([(1,), (7,)])
+        assert decisions[0].label == MALICIOUS_CLASS
+        assert decisions[1].label is None
+
+    def test_dedup_counts_unique_rows(self):
+        rules = _random_rules(random.Random(5), 6)
+        evaluator = ColumnarRuleEvaluator(rules.rules)
+        rows = [("alpha",) * WIDTH, ("beta",) * WIDTH] * 50
+        batch = evaluator.match_rows(rows)
+        assert batch is not None
+        assert batch.n_rows == 100
+        assert batch.n_unique == 2
+
+
+def _rule_for(values, prediction=MALICIOUS_CLASS):
+    return Rule(
+        conditions=tuple(
+            _condition(attribute, value)
+            for attribute, value in enumerate(values)
+        ),
+        prediction=prediction,
+        coverage=10,
+        errors=0,
+    )
+
+
+class TestRealDataEquivalence:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_month_pair_classification(self, small_session, policy):
+        labeled = small_session.labeled
+        rules, training = learn_rules(labeled, small_session.alexa, 0)
+        selected = rules.select(0.001)
+        train_shas = {i.sha1 for i in training.instances}
+        test_set = TrainingSet.from_labeled(
+            labeled.month_slice(1),
+            small_session.alexa,
+            exclude_sha1s=train_shas,
+        )
+        unknowns = unknown_vectors(
+            labeled.month_slice(1),
+            small_session.alexa,
+            exclude_sha1s=set(labeled.month_slice(0).dataset.files),
+        )
+        unknown_rows = [vector.values for vector in unknowns.values()]
+        classifier = RuleBasedClassifier(selected, policy)
+        scalar = RuleBasedClassifier(selected, policy, fast=False)
+        assert test_set.instances, "fixture must produce a test set"
+        _assert_same_evaluation(
+            classifier.evaluate_scalar(test_set.instances),
+            classifier.evaluate(test_set.instances),
+        )
+        _assert_same_decisions(
+            [scalar.classify(row) for row in unknown_rows],
+            classifier.classify_batch(unknown_rows),
+        )
+
+
+class TestParallelFullEvaluation:
+    def test_jobs_is_an_execution_knob(self, small_session):
+        labeled = small_session.labeled
+        alexa = small_session.alexa
+        kwargs = dict(taus=(0.001,), train_months=(0, 1))
+        sequential = full_evaluation(labeled, alexa, jobs=1, **kwargs)
+        parallel = full_evaluation(labeled, alexa, jobs=2, **kwargs)
+        assert (
+            sequential.extraction_rows() == parallel.extraction_rows()
+        )
+        assert (
+            sequential.evaluation_rows() == parallel.evaluation_rows()
+        )
+        assert [run.unknown_decisions for run in sequential.runs] == [
+            run.unknown_decisions for run in parallel.runs
+        ]
+
+    def test_jobs_validation(self, small_session):
+        with pytest.raises(ValueError):
+            full_evaluation(
+                small_session.labeled, small_session.alexa, jobs=0
+            )
+
+
+class TestLearnRulesMemo:
+    def test_memo_hit_and_isolation(self, small_session):
+        labeled = small_session.labeled
+        alexa = small_session.alexa
+        clear_rule_cache()
+        registry = obs_metrics.get_registry()
+        first_rules, first_training = learn_rules(labeled, alexa, 0)
+        before = registry.snapshot()["counters"].get("rules.cache_hits", 0)
+        second_rules, second_training = learn_rules(labeled, alexa, 0)
+        after = registry.snapshot()["counters"].get("rules.cache_hits", 0)
+        assert after == before + 1
+        assert first_rules.rules == second_rules.rules
+        assert first_training.instances == second_training.instances
+        # Returned objects are copies: mutating them must not poison
+        # what the next caller receives.
+        second_rules.rules.clear()
+        second_training.instances.clear()
+        third_rules, third_training = learn_rules(labeled, alexa, 0)
+        assert third_rules.rules == first_rules.rules
+        assert third_training.instances == first_training.instances
