@@ -1,0 +1,32 @@
+"""Statistical fidelity validation over the shared bench corpus.
+
+Times a full ``evaluate_session`` pass -- every registered calibration
+target re-measured and tested against its paper marginal -- and writes
+the rendered single-seed fidelity report as an artifact.
+"""
+
+from repro.synth.cache import GENERATOR_VERSION
+from repro.validation import DEFAULT_P_FLOOR, FidelityReport, evaluate_session
+from repro.validation.report import FAIL
+
+from .common import save_artifact
+
+
+def test_fidelity_evaluation(benchmark, session):
+    results = benchmark(evaluate_session, session)
+    assert len(results) >= 10
+    failing = [r.name for r in results if r.verdict == FAIL]
+    assert not failing, failing
+    config = session.config
+    report = FidelityReport.aggregate(
+        config={
+            "scale": config.scale,
+            "sigma": config.sigma,
+            "shards": config.shards,
+        },
+        seeds=[config.seed],
+        per_seed_results=[results],
+        p_floor=DEFAULT_P_FLOOR,
+        generator_version=GENERATOR_VERSION,
+    )
+    save_artifact("fidelity_validation", report.render())

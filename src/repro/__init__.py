@@ -14,7 +14,10 @@ The package provides:
 * :mod:`repro.core` -- the paper's contribution: Table XV features, PART
   rule learning, conflict-rejecting classification and the Tables
   XVI/XVII evaluation harness (Section VI);
-* :mod:`repro.reporting` -- text renderings of every table and figure.
+* :mod:`repro.reporting` -- text renderings of every table and figure;
+* :mod:`repro.validation` -- the statistical fidelity gate: seed-swept
+  goodness-of-fit of generated worlds against their calibration targets
+  (``repro validate`` on the command line).
 
 Quickstart::
 
@@ -26,6 +29,7 @@ Quickstart::
 """
 
 from . import analysis, core, labeling, obs, reporting, synth, telemetry
+from . import validation
 from .core.evaluation import full_evaluation
 from .labeling.ground_truth import LabeledDataset, label_world
 from .labeling.labels import (
@@ -35,7 +39,12 @@ from .labeling.labels import (
     ProcessCategory,
     UrlLabel,
 )
-from .pipeline import Session, build_session, clear_all_caches
+from .pipeline import (
+    Session,
+    build_session,
+    clear_all_caches,
+    validate_session,
+)
 from .synth.world import World, WorldConfig, generate_dataset
 from .telemetry.dataset import TelemetryDataset
 
@@ -65,4 +74,6 @@ __all__ = [
     "reporting",
     "synth",
     "telemetry",
+    "validate_session",
+    "validation",
 ]

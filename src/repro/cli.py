@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro.cli generate --scale 0.01 --out corpus/
     python -m repro.cli report   --scale 0.01 --experiment table1 fig5
@@ -8,6 +8,8 @@ Six subcommands cover the common workflows::
     python -m repro.cli evaluate --scale 0.01 --out results/
     python -m repro.cli run      --scale 0.01 --trace --metrics-out m.json
     python -m repro.cli stats    --scale 0.01
+    python -m repro.cli validate --scale 0.02 --seeds 3 \
+        --report-out fidelity_report.json
 
 ``generate`` exports the telemetry corpus (and its ground truth) as
 JSONL; ``report`` renders any subset of the paper's tables/figures;
@@ -15,7 +17,11 @@ JSONL; ``report`` renders any subset of the paper's tables/figures;
 month; ``evaluate`` runs the full Tables XVI/XVII experiment; ``run``
 executes the whole pipeline once (generate, collect, label, learn) and
 is the natural companion of the observability flags; ``stats`` prints
-the span tree and metrics snapshot for a run.
+the span tree and metrics snapshot for a run; ``validate`` is the
+statistical fidelity gate (:mod:`repro.validation`) -- it sweeps worlds
+across seeds, tests every calibration target, prints the verdict table,
+optionally writes the machine-readable report, and exits non-zero when
+the gate fails.
 
 Every world-building subcommand accepts ``--trace`` (print the span
 tree after the run) and ``--metrics-out PATH`` (write the metrics
@@ -306,6 +312,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Statistical fidelity gate (see :mod:`repro.validation`)."""
+    from .validation import run_seed_sweep
+
+    print(
+        f"fidelity sweep: {args.seeds} seed(s) from {args.seed} at "
+        f"scale={args.scale} ...",
+        file=sys.stderr,
+    )
+    report = run_seed_sweep(
+        scale=args.scale,
+        seeds=args.seeds,
+        base_seed=args.seed,
+        shards=args.shards,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        p_floor=args.p_floor,
+        quantile=args.quantile,
+    )
+    print(report.render())
+    if args.report_out:
+        path = report.write(Path(args.report_out))
+        print(f"wrote fidelity report to {path}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Observability report: run the pipeline, print spans + metrics."""
     session = _session(args)
@@ -400,6 +432,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="max rule training error rate (default 0.001)")
     run.set_defaults(func=_cmd_run)
 
+    validate = commands.add_parser(
+        "validate",
+        help="statistical fidelity gate: sweep seeds, test every "
+             "calibration target, exit non-zero on failure",
+    )
+    _add_world_arguments(validate)
+    validate.add_argument("--seeds", type=int, default=3,
+                          help="number of consecutive seeds to sweep, "
+                               "starting at --seed (default 3)")
+    validate.add_argument("--report-out", metavar="PATH",
+                          help="write the machine-readable fidelity report "
+                               "(JSON) here")
+    validate.add_argument("--p-floor", type=float, default=0.01,
+                          help="per-seed p-value floor below which a target "
+                               "must fall back on its effect tolerance "
+                               "(default 0.01)")
+    validate.add_argument("--quantile", type=float, default=0.5,
+                          help="sweep aggregation quantile (default 0.5 = "
+                               "median across seeds)")
+    validate.set_defaults(func=_cmd_validate)
+
     stats = commands.add_parser(
         "stats",
         help="run the pipeline and print its span tree and metrics "
@@ -424,7 +477,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     start = time.perf_counter()
     try:
         status = args.func(args)
-        if status == 0:
+        # Status 1 is a *verdict* (the validate gate failing), not a
+        # usage error: its metrics and manifest still matter, e.g. for
+        # CI archiving the artifacts of a failed fidelity run.
+        if status in (0, 1):
             _export_observability(
                 args, wall_seconds=time.perf_counter() - start
             )

@@ -98,6 +98,22 @@ def build_session(
     return session
 
 
+def validate_session(session: Session, p_floor: Optional[float] = None):
+    """Fidelity-check one session against every calibration target.
+
+    Thin pipeline-level hook over
+    :func:`repro.validation.evaluate_session` (imported lazily so the
+    pipeline does not pay for the validation stack unless asked):
+    returns the per-target :class:`repro.validation.TargetResult` list
+    for ``session``.  For the multi-seed gate use
+    :func:`repro.validation.run_seed_sweep`.
+    """
+    from .validation import DEFAULT_P_FLOOR, evaluate_session
+
+    floor = DEFAULT_P_FLOOR if p_floor is None else p_floor
+    return evaluate_session(session, p_floor=floor)
+
+
 def clear_session_cache() -> None:
     """Drop all memoized sessions (worlds are cleared separately)."""
     _SESSIONS.clear()

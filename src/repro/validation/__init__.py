@@ -1,0 +1,68 @@
+"""Statistical fidelity validation: does the generated world match its
+calibration targets?
+
+The synthetic world claims to be a statistically calibrated replica of
+the paper's telemetry (:mod:`repro.synth.calibration` transcribes the
+published tables; the generator consumes them).  This package closes the
+loop: it re-measures every calibrated marginal from a generated world --
+through the same analysis code paths the experiments use -- and tests it
+against the target with real statistics:
+
+* **chi-square goodness-of-fit** for categorical mixes (label mixes,
+  malware-type breakdown, browser share, process categories, the Table
+  XII type->type transition matrix);
+* **two-sample Kolmogorov-Smirnov** for distribution shapes (the
+  Figure 2 prevalence long tail, the Figure 5 infection-timing deltas);
+* **binomial rate tests with Wilson bands** for per-population signing
+  and packing rates.
+
+Entry points:
+
+* :func:`evaluate_session` -- every target checked on one session;
+* :func:`run_seed_sweep` -- the N-seed gate producing a
+  :class:`FidelityReport` (also reachable as
+  :func:`repro.pipeline.validate_session` and the ``repro validate``
+  CLI subcommand);
+* :mod:`repro.validation.statistics` -- the scipy-free test machinery.
+"""
+
+from .report import FidelityReport, TargetResult, load_report
+from .runner import run_seed_sweep, sweep_configs
+from .statistics import (
+    TestOutcome,
+    binomial_rate_test,
+    chi2_sf,
+    chi_square_gof,
+    kolmogorov_sf,
+    ks_2samp,
+    total_variation,
+    wilson_interval,
+)
+from .targets import (
+    DEFAULT_P_FLOOR,
+    TargetSpec,
+    all_targets,
+    evaluate_session,
+    target_names,
+)
+
+__all__ = [
+    "DEFAULT_P_FLOOR",
+    "FidelityReport",
+    "TargetResult",
+    "TargetSpec",
+    "TestOutcome",
+    "all_targets",
+    "binomial_rate_test",
+    "chi2_sf",
+    "chi_square_gof",
+    "evaluate_session",
+    "kolmogorov_sf",
+    "ks_2samp",
+    "load_report",
+    "run_seed_sweep",
+    "sweep_configs",
+    "target_names",
+    "total_variation",
+    "wilson_interval",
+]

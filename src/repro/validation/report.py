@@ -1,0 +1,317 @@
+"""Fidelity report data model: per-target results and the sweep verdict.
+
+A :class:`TargetResult` is one calibration target checked on one
+generated world; a :class:`FidelityReport` aggregates the per-seed
+results of a sweep into one verdict per target plus an overall verdict.
+The report round-trips losslessly through JSON
+(:meth:`FidelityReport.write` / :func:`load_report`) so CI can archive
+it next to the run manifest, and renders as a human-readable table
+(:meth:`FidelityReport.render`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA",
+    "FidelityReport",
+    "TargetResult",
+    "load_report",
+]
+
+#: Schema tag written into every report (bump on breaking changes).
+SCHEMA = "fidelity-report-v1"
+
+#: Verdict values a target (or the whole report) can carry.
+PASS, FAIL, SKIPPED = "pass", "fail", "skipped"
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetResult:
+    """One calibration target evaluated on one generated world."""
+
+    name: str
+    kind: str              # categorical | ks | binomial
+    source: str            # paper table/figure the target transcribes
+    seed: int
+    statistic: float
+    p_value: float
+    effect: float
+    tolerance: float
+    n: int
+    df: int
+    verdict: str
+    detail: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["statistic"] = round(self.statistic, 6)
+        payload["p_value"] = round(self.p_value, 6)
+        payload["effect"] = round(self.effect, 6)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TargetResult":
+        fields = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: payload[key] for key in fields})
+
+
+def _quantile(values: List[float], q: float) -> float:
+    """Inclusive-linear quantile of a non-empty list."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclasses.dataclass
+class AggregateTarget:
+    """One target's verdict across the whole seed sweep."""
+
+    name: str
+    kind: str
+    source: str
+    tolerance: float
+    statistic: float        # sweep quantile of per-seed test statistics
+    p_value: float          # sweep quantile of per-seed p-values
+    effect: float           # sweep quantile of per-seed effects
+    verdict: str
+    seeds_evaluated: int
+    seeds_skipped: int
+    per_seed: List[TargetResult]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "source": self.source,
+            "tolerance": self.tolerance,
+            "statistic": round(self.statistic, 6),
+            "p_value": round(self.p_value, 6),
+            "effect": round(self.effect, 6),
+            "verdict": self.verdict,
+            "seeds_evaluated": self.seeds_evaluated,
+            "seeds_skipped": self.seeds_skipped,
+            "per_seed": [result.as_dict() for result in self.per_seed],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AggregateTarget":
+        per_seed = [
+            TargetResult.from_dict(entry) for entry in payload["per_seed"]
+        ]
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            source=payload["source"],
+            tolerance=payload["tolerance"],
+            statistic=payload["statistic"],
+            p_value=payload["p_value"],
+            effect=payload["effect"],
+            verdict=payload["verdict"],
+            seeds_evaluated=payload["seeds_evaluated"],
+            seeds_skipped=payload["seeds_skipped"],
+            per_seed=per_seed,
+        )
+
+
+@dataclasses.dataclass
+class FidelityReport:
+    """The machine-readable output of one fidelity sweep."""
+
+    config: Dict[str, Any]        # scale/sigma/shards of the swept worlds
+    seeds: List[int]
+    p_floor: float
+    quantile: float
+    targets: List[AggregateTarget]
+    verdict: str
+    generator_version: str = ""
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def aggregate(
+        cls,
+        config: Dict[str, Any],
+        seeds: List[int],
+        per_seed_results: List[List[TargetResult]],
+        p_floor: float,
+        quantile: float = 0.5,
+        generator_version: str = "",
+    ) -> "FidelityReport":
+        """Fold per-seed target results into one report.
+
+        A target passes the sweep when the ``quantile`` of its per-seed
+        p-values clears ``p_floor`` *or* the same quantile of its effects
+        is inside tolerance -- one unlucky seed cannot fail the gate, so
+        the verdict is deterministic-in-expectation rather than flaky.
+        Seeds where a target had too little data are excluded from the
+        quantiles; a target with no evaluable seed is ``skipped``.
+        """
+        by_name: Dict[str, List[TargetResult]] = {}
+        order: List[str] = []
+        for results in per_seed_results:
+            for result in results:
+                if result.name not in by_name:
+                    by_name[result.name] = []
+                    order.append(result.name)
+                by_name[result.name].append(result)
+        targets: List[AggregateTarget] = []
+        for name in order:
+            results = by_name[name]
+            evaluated = [r for r in results if r.verdict != SKIPPED]
+            skipped = len(results) - len(evaluated)
+            spec = results[0]
+            if not evaluated:
+                targets.append(
+                    AggregateTarget(
+                        name=name, kind=spec.kind, source=spec.source,
+                        tolerance=spec.tolerance, statistic=0.0,
+                        p_value=1.0, effect=0.0,
+                        verdict=SKIPPED, seeds_evaluated=0,
+                        seeds_skipped=skipped, per_seed=results,
+                    )
+                )
+                continue
+            # The p-value quantile is taken from the *low* end and the
+            # effect quantile from the *high* end: both are pessimistic
+            # summaries, so a pass means "the typical seed is fine".
+            p_agg = _quantile([r.p_value for r in evaluated], 1.0 - quantile)
+            effect_agg = _quantile([r.effect for r in evaluated], quantile)
+            stat_agg = _quantile([r.statistic for r in evaluated], quantile)
+            verdict = (
+                PASS
+                if p_agg >= p_floor or effect_agg <= spec.tolerance
+                else FAIL
+            )
+            targets.append(
+                AggregateTarget(
+                    name=name, kind=spec.kind, source=spec.source,
+                    tolerance=spec.tolerance, statistic=stat_agg,
+                    p_value=p_agg, effect=effect_agg, verdict=verdict,
+                    seeds_evaluated=len(evaluated), seeds_skipped=skipped,
+                    per_seed=results,
+                )
+            )
+        overall = FAIL if any(t.verdict == FAIL for t in targets) else PASS
+        return cls(
+            config=config,
+            seeds=list(seeds),
+            p_floor=p_floor,
+            quantile=quantile,
+            targets=targets,
+            verdict=overall,
+            generator_version=generator_version,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == PASS
+
+    def counts(self) -> Dict[str, int]:
+        out = {PASS: 0, FAIL: 0, SKIPPED: 0}
+        for target in self.targets:
+            out[target.verdict] += 1
+        return out
+
+    def target(self, name: str) -> AggregateTarget:
+        for candidate in self.targets:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def failures(self) -> List[AggregateTarget]:
+        return [t for t in self.targets if t.verdict == FAIL]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        counts = self.counts()
+        return {
+            "schema": SCHEMA,
+            "config": self.config,
+            "seeds": self.seeds,
+            "p_floor": self.p_floor,
+            "quantile": self.quantile,
+            "generator_version": self.generator_version,
+            "verdict": self.verdict,
+            "counts": counts,
+            "targets": [target.as_dict() for target in self.targets],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FidelityReport":
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported fidelity report schema: {payload.get('schema')!r}"
+            )
+        return cls(
+            config=payload["config"],
+            seeds=list(payload["seeds"]),
+            p_floor=payload["p_floor"],
+            quantile=payload["quantile"],
+            targets=[
+                AggregateTarget.from_dict(entry)
+                for entry in payload["targets"]
+            ],
+            verdict=payload["verdict"],
+            generator_version=payload.get("generator_version", ""),
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable verdict table (one line per target)."""
+        lines = [
+            f"Fidelity sweep: scale={self.config.get('scale')} "
+            f"seeds={self.seeds} p_floor={self.p_floor} "
+            f"quantile={self.quantile}",
+            f"{'target':<34} {'kind':<12} {'p':>8} {'effect':>8} "
+            f"{'tol':>6}  verdict",
+        ]
+        for target in self.targets:
+            lines.append(
+                f"{target.name:<34} {target.kind:<12} "
+                f"{target.p_value:>8.4f} {target.effect:>8.4f} "
+                f"{target.tolerance:>6.3f}  {target.verdict}"
+            )
+        counts = self.counts()
+        lines.append(
+            f"overall: {self.verdict} "
+            f"({counts[PASS]} pass, {counts[FAIL]} fail, "
+            f"{counts[SKIPPED]} skipped)"
+        )
+        return "\n".join(lines)
+
+
+def load_report(path: Path) -> FidelityReport:
+    """Read a report previously written with :meth:`FidelityReport.write`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return FidelityReport.from_dict(payload)

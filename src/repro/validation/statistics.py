@@ -1,0 +1,342 @@
+"""Statistical machinery for the fidelity gate.
+
+Self-contained implementations of the three tests the validator runs --
+chi-square goodness-of-fit over categorical mixes, the two-sample
+Kolmogorov-Smirnov test over empirical distributions, and binomial
+rate checks with Wilson confidence bands.  Only the standard library and
+numpy are required (the CI environment has no scipy); when scipy *is*
+installed, ``tests/validation/test_statistics.py`` differentially checks
+every p-value routine against it.
+
+Every test returns a :class:`TestOutcome` carrying both the classical
+p-value and an **effect size** on a [0, 1] scale:
+
+* categorical -- total variation distance between the observed and
+  expected proportion vectors (a single category shifted by 10
+  percentage points has TVD 0.10);
+* KS -- the D statistic itself (sup distance between the CDFs);
+* binomial -- the absolute difference between observed and expected
+  rates.
+
+The gate needs both numbers.  Synthetic corpora are large, so a p-value
+alone degenerates into an equality test (any model simplification is
+"significant" at n=60k even when the mix is off by half a point); an
+effect size alone ignores sampling noise at tiny scales.  Verdicts
+therefore pass when *either* the p-value clears the floor (the deviation
+is explainable as sampling noise) *or* the effect is inside an explicit
+per-target tolerance (the deviation is real but calibrated-close); see
+:mod:`repro.validation.targets`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TestOutcome",
+    "binomial_rate_test",
+    "chi2_sf",
+    "chi_square_gof",
+    "kolmogorov_sf",
+    "ks_2samp",
+    "total_variation",
+    "wilson_interval",
+]
+
+#: Expected-count floor below which chi-square bins are pooled (the
+#: classical rule of thumb for the chi-square approximation).
+MIN_EXPECTED_COUNT = 5.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TestOutcome:
+    """One statistical test's result.
+
+    ``statistic`` is the raw test statistic (chi-square value, KS D,
+    or the z-score for binomial tests); ``effect`` is the normalized
+    [0, 1] discrepancy the tolerance is compared against; ``n`` is the
+    observed sample size that powered the test.
+    """
+
+    statistic: float
+    p_value: float
+    effect: float
+    n: int
+    df: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "statistic": round(self.statistic, 6),
+            "p_value": round(self.p_value, 6),
+            "effect": round(self.effect, 6),
+            "n": self.n,
+            "df": self.df,
+        }
+
+
+# ----------------------------------------------------------------------
+# Incomplete-gamma machinery for the chi-square survival function
+# ----------------------------------------------------------------------
+
+
+def _gamma_series(a: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(a, x) by series (x < a+1)."""
+    if x <= 0.0:
+        return 0.0
+    term = 1.0 / a
+    total = term
+    denom = a
+    for _ in range(500):
+        denom += 1.0
+        term *= x / denom
+        total += term
+        if abs(term) < abs(total) * 1e-15:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gamma_cont_fraction(a: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(a, x) by continued fraction
+    (Lentz's algorithm; accurate for x >= a+1)."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def chi2_sf(statistic: float, df: int) -> float:
+    """Survival function of the chi-square distribution, ``P(X >= x)``."""
+    if df < 1:
+        raise ValueError(f"df must be >= 1, got {df}")
+    if statistic <= 0.0:
+        return 1.0
+    a = df / 2.0
+    x = statistic / 2.0
+    if x < a + 1.0:
+        p = 1.0 - _gamma_series(a, x)
+    else:
+        p = _gamma_cont_fraction(a, x)
+    return min(1.0, max(0.0, p))
+
+
+# ----------------------------------------------------------------------
+# Chi-square goodness of fit over categorical mixes
+# ----------------------------------------------------------------------
+
+
+def total_variation(
+    observed: Mapping[Hashable, float], expected: Mapping[Hashable, float]
+) -> float:
+    """Total variation distance between two proportion vectors.
+
+    Both mappings are normalized first, so raw counts are accepted.
+    Keys missing on either side count as zero mass.
+    """
+    obs_total = float(sum(observed.values()))
+    exp_total = float(sum(expected.values()))
+    if obs_total <= 0 or exp_total <= 0:
+        raise ValueError("proportion vectors must have positive mass")
+    keys = set(observed) | set(expected)
+    return 0.5 * sum(
+        abs(
+            observed.get(key, 0.0) / obs_total
+            - expected.get(key, 0.0) / exp_total
+        )
+        for key in keys
+    )
+
+
+def chi_square_gof(
+    observed: Mapping[Hashable, float],
+    expected_probs: Mapping[Hashable, float],
+    min_expected: float = MIN_EXPECTED_COUNT,
+) -> TestOutcome:
+    """Chi-square goodness-of-fit of observed counts against a target mix.
+
+    ``expected_probs`` is normalized; categories whose expected count
+    falls below ``min_expected`` are pooled into a single bin so the
+    chi-square approximation stays valid at small scales.  Categories
+    observed but absent from the target mix are pooled the same way
+    (they contribute their observed count against near-zero expectation
+    rather than being silently dropped).
+    """
+    total = float(sum(observed.values()))
+    if total <= 0:
+        raise ValueError("observed counts must have positive total")
+    prob_total = float(sum(expected_probs.values()))
+    if prob_total <= 0:
+        raise ValueError("expected probabilities must have positive total")
+
+    keys = sorted(set(observed) | set(expected_probs), key=str)
+    obs = np.array([float(observed.get(key, 0.0)) for key in keys])
+    exp = np.array(
+        [total * expected_probs.get(key, 0.0) / prob_total for key in keys]
+    )
+
+    # Pool sparse bins (ordered by expectation so pooling is stable).
+    order = np.argsort(exp, kind="stable")
+    obs, exp = obs[order], exp[order]
+    pooled_obs: list = []
+    pooled_exp: list = []
+    acc_obs = acc_exp = 0.0
+    for o, e in zip(obs, exp):
+        acc_obs += o
+        acc_exp += e
+        if acc_exp >= min_expected:
+            pooled_obs.append(acc_obs)
+            pooled_exp.append(acc_exp)
+            acc_obs = acc_exp = 0.0
+    if acc_exp > 0 or acc_obs > 0:
+        if pooled_exp:
+            pooled_obs[-1] += acc_obs
+            pooled_exp[-1] += acc_exp
+        else:
+            pooled_obs.append(acc_obs)
+            pooled_exp.append(max(acc_exp, 1e-9))
+    obs = np.array(pooled_obs)
+    exp = np.array(pooled_exp)
+
+    effect = total_variation(observed, expected_probs)
+    if len(obs) < 2:
+        # Everything pooled into one bin: no degrees of freedom left, the
+        # mix is untestable at this scale -- report the effect only.
+        return TestOutcome(
+            statistic=0.0, p_value=1.0, effect=effect, n=int(total), df=0
+        )
+    statistic = float(((obs - exp) ** 2 / exp).sum())
+    df = len(obs) - 1
+    return TestOutcome(
+        statistic=statistic,
+        p_value=chi2_sf(statistic, df),
+        effect=effect,
+        n=int(total),
+        df=df,
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-sample Kolmogorov-Smirnov
+# ----------------------------------------------------------------------
+
+
+def kolmogorov_sf(lam: float) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    ``Q(lam) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lam^2)`` -- the
+    asymptotic null distribution of ``sqrt(n) * D``.
+    """
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(1.0, max(0.0, total))
+
+
+def ks_2samp(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> TestOutcome:
+    """Two-sample KS test with the asymptotic p-value.
+
+    Uses Stephens' small-sample correction on the effective sample size.
+    Ties (both samples are frequently integer-valued here) are handled by
+    evaluating both empirical CDFs on the pooled support, which makes the
+    test conservative -- acceptable for a gate.
+    """
+    a = np.sort(np.asarray(sample_a, dtype=float))
+    b = np.sort(np.asarray(sample_b, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    support = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, support, side="right") / a.size
+    cdf_b = np.searchsorted(b, support, side="right") / b.size
+    d = float(np.abs(cdf_a - cdf_b).max())
+    n_eff = a.size * b.size / (a.size + b.size)
+    lam = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * d
+    return TestOutcome(
+        statistic=d,
+        p_value=kolmogorov_sf(lam),
+        effect=d,
+        n=int(a.size),
+        df=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Binomial rates
+# ----------------------------------------------------------------------
+
+
+def wilson_interval(
+    successes: int, n: int, z: float = 1.959964
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    phat = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (phat + z2 / (2 * n)) / denom
+    half = (
+        z * math.sqrt(phat * (1 - phat) / n + z2 / (4 * n * n)) / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def _normal_sf(z: float) -> float:
+    """Standard normal survival function via ``math.erfc``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def binomial_rate_test(
+    successes: int, n: int, expected_rate: float
+) -> TestOutcome:
+    """Two-sided test of an observed rate against a target rate.
+
+    Normal approximation with continuity correction; the effect size is
+    the absolute rate difference.  Degenerate expectations (0 or 1) fall
+    back to the exact tail probability.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= expected_rate <= 1.0:
+        raise ValueError("expected_rate must be a probability")
+    phat = successes / n
+    effect = abs(phat - expected_rate)
+    if expected_rate in (0.0, 1.0):
+        p_value = 1.0 if effect == 0.0 else 0.0
+        return TestOutcome(
+            statistic=math.inf if effect else 0.0,
+            p_value=p_value, effect=effect, n=n,
+        )
+    sd = math.sqrt(expected_rate * (1.0 - expected_rate) / n)
+    # Continuity correction: shrink the deviation by half a count.
+    corrected = max(0.0, effect - 0.5 / n)
+    z = corrected / sd
+    p_value = min(1.0, 2.0 * _normal_sf(z))
+    return TestOutcome(statistic=z, p_value=p_value, effect=effect, n=n)

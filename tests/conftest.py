@@ -31,3 +31,17 @@ def small_session():
 def medium_session():
     """The calibration-check session (~11k machines)."""
     return build_session(WorldConfig(seed=7, scale=0.01))
+
+
+@pytest.fixture(scope="session")
+def small_validation_results(small_session):
+    """Fidelity-target results for ``small_session``, computed once.
+
+    Several validation tests inspect the same per-target results;
+    evaluating them per-module would re-measure every marginal (and
+    re-run infection timing) each time, so the suite shares one
+    session-scoped evaluation.
+    """
+    from repro.validation import evaluate_session
+
+    return evaluate_session(small_session)

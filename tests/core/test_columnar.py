@@ -232,6 +232,54 @@ class TestEdgeCases:
         assert batch.n_rows == 100
         assert batch.n_unique == 2
 
+    def test_empty_rule_list_takes_fast_path(self):
+        evaluator = ColumnarRuleEvaluator([])
+        batch = evaluator.match_rows([("alpha",) * WIDTH])
+        assert batch is not None
+        assert batch.n_rows == 1
+        assert batch.n_unique == 1
+        assert batch.match.size == 0
+
+    def test_single_row_batch(self):
+        rules = _random_rules(random.Random(6), 8)
+        row = ("alpha", "beta", "gamma", "delta")
+        fast = RuleBasedClassifier(rules)
+        scalar = RuleBasedClassifier(rules, fast=False)
+        _assert_same_decisions(
+            [scalar.classify(row)], fast.classify_batch([row])
+        )
+        batch = ColumnarRuleEvaluator(rules.rules).match_rows([row])
+        assert batch is not None
+        assert batch.n_rows == batch.n_unique == 1
+
+    def test_vocab_version_bump_mid_session(self):
+        # A batch carrying unseen values grows the codec vocabulary;
+        # the evaluator must recompile its masks and keep matching the
+        # scalar reference afterwards.
+        rules = _random_rules(random.Random(7), 10)
+        evaluator = ColumnarRuleEvaluator(rules.rules)
+        first_rows = _random_rows(random.Random(8), 40)
+        assert evaluator.match_rows(first_rows) is not None
+        version = evaluator.codec.version
+        compiled = evaluator._compiled
+        new_rows = [("nu",) * WIDTH, ("xi",) * WIDTH]
+        assert evaluator.match_rows(first_rows + new_rows) is not None
+        assert evaluator.codec.version > version
+        assert evaluator._compiled is not compiled
+        assert evaluator._compiled.codec_version == evaluator.codec.version
+        # Same mid-session growth through the public classifier: the
+        # second batch's decisions still equal the scalar path.
+        fast = RuleBasedClassifier(rules)
+        scalar = RuleBasedClassifier(rules, fast=False)
+        _assert_same_decisions(
+            [scalar.classify(row) for row in first_rows],
+            fast.classify_batch(first_rows),
+        )
+        _assert_same_decisions(
+            [scalar.classify(row) for row in new_rows],
+            fast.classify_batch(new_rows),
+        )
+
 
 def _rule_for(values, prediction=MALICIOUS_CLASS):
     return Rule(

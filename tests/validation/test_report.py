@@ -1,0 +1,144 @@
+"""Unit tests for the fidelity report model and sweep aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation import FidelityReport, TargetResult, load_report
+from repro.validation.report import FAIL, PASS, SKIPPED, _quantile
+
+
+def _result(name="t", seed=1, p=0.5, effect=0.01, tolerance=0.05,
+            verdict=PASS, **extra):
+    return TargetResult(
+        name=name, kind="categorical", source="Table I", seed=seed,
+        statistic=1.0, p_value=p, effect=effect, tolerance=tolerance,
+        n=1000, df=3, verdict=verdict, **extra,
+    )
+
+
+def _aggregate(results, p_floor=0.01, quantile=0.5):
+    return FidelityReport.aggregate(
+        config={"scale": 0.02, "sigma": 20, "shards": 8},
+        seeds=sorted({r.seed for r in results}),
+        per_seed_results=[results],
+        p_floor=p_floor,
+        quantile=quantile,
+        generator_version="engine-v1",
+    )
+
+
+class TestQuantile:
+    def test_single_value(self):
+        assert _quantile([0.7], 0.5) == 0.7
+
+    def test_median_interpolates(self):
+        assert _quantile([0.0, 1.0], 0.5) == 0.5
+        assert _quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [0.3, 0.1, 0.9]
+        assert _quantile(values, 0.0) == 0.1
+        assert _quantile(values, 1.0) == 0.9
+
+
+class TestAggregation:
+    def test_median_rule_outvotes_one_bad_seed(self):
+        # Two healthy seeds, one unlucky one: the sweep must pass.
+        results = [
+            _result(seed=1, p=0.5, effect=0.01),
+            _result(seed=2, p=0.0001, effect=0.20),
+            _result(seed=3, p=0.4, effect=0.02),
+        ]
+        report = _aggregate(results)
+        target = report.target("t")
+        assert target.verdict == PASS
+        assert report.passed
+
+    def test_consistent_failure_fails(self):
+        results = [
+            _result(seed=s, p=0.0001, effect=0.2, verdict=FAIL)
+            for s in (1, 2, 3)
+        ]
+        report = _aggregate(results)
+        assert report.target("t").verdict == FAIL
+        assert not report.passed
+        assert [t.name for t in report.failures()] == ["t"]
+
+    def test_effect_branch_rescues_degenerate_p(self):
+        # Large-n worlds: p ~ 0 but the effect is inside tolerance.
+        results = [
+            _result(seed=s, p=0.0, effect=0.01) for s in (1, 2, 3)
+        ]
+        assert _aggregate(results).passed
+
+    def test_skipped_seeds_are_excluded_from_quantiles(self):
+        results = [
+            _result(seed=1, p=1.0, effect=0.0, verdict=SKIPPED),
+            _result(seed=2, p=0.5, effect=0.01),
+            _result(seed=3, p=0.6, effect=0.02),
+        ]
+        target = _aggregate(results).target("t")
+        assert target.seeds_evaluated == 2
+        assert target.seeds_skipped == 1
+        assert target.verdict == PASS
+
+    def test_all_seeds_skipped_is_skipped_not_failed(self):
+        results = [
+            _result(seed=s, p=1.0, effect=0.0, verdict=SKIPPED)
+            for s in (1, 2)
+        ]
+        report = _aggregate(results)
+        assert report.target("t").verdict == SKIPPED
+        assert report.passed  # skipped targets never fail the gate
+
+    def test_pessimistic_quantile_directions(self):
+        # p aggregated from the low end, effect from the high end.
+        results = [
+            _result(seed=1, p=0.9, effect=0.00),
+            _result(seed=2, p=0.5, effect=0.03),
+            _result(seed=3, p=0.1, effect=0.06),
+        ]
+        target = _aggregate(results).target("t")
+        assert target.p_value == pytest.approx(0.5)
+        assert target.effect == pytest.approx(0.03)
+
+    def test_counts(self):
+        results = [
+            _result(name="a", p=0.5),
+            _result(name="b", p=0.0, effect=0.5, verdict=FAIL),
+            _result(name="c", verdict=SKIPPED, p=1.0, effect=0.0),
+        ]
+        report = _aggregate(results)
+        assert report.counts() == {"pass": 1, "fail": 1, "skipped": 1}
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(KeyError):
+            _aggregate([_result()]).target("nope")
+
+
+class TestSerialization:
+    def test_json_round_trip(self, tmp_path):
+        report = _aggregate(
+            [
+                _result(name="a", seed=s, detail={"k": 1})
+                for s in (1, 2, 3)
+            ]
+            + [_result(name="b", seed=1, p=0.0, effect=0.5, verdict=FAIL)]
+        )
+        path = report.write(tmp_path / "sub" / "fidelity_report.json")
+        loaded = load_report(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.generator_version == "engine-v1"
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other-v0"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_render_mentions_every_target(self):
+        report = _aggregate([_result(name="a"), _result(name="b")])
+        text = report.render()
+        assert "a" in text and "b" in text
+        assert "overall: pass" in text

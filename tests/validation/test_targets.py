@@ -1,0 +1,117 @@
+"""Fidelity targets evaluated on a real (small) generated world.
+
+Structural and determinism guarantees of :func:`evaluate_session`; the
+statistical calibration itself is exercised by the opt-in full sweep in
+``test_runner.py`` (marker ``fidelity``) and by the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.validation import (
+    TargetResult,
+    all_targets,
+    evaluate_session,
+    target_names,
+)
+from repro.validation.report import FAIL, SKIPPED
+
+
+class TestRegistry:
+    def test_names_unique_and_plentiful(self):
+        names = target_names()
+        assert len(names) == len(set(names))
+        # The acceptance bar is >= 10 distinct calibration targets.
+        assert len(names) >= 10
+
+    def test_every_kind_represented(self):
+        kinds = {spec.kind for spec in all_targets()}
+        assert kinds == {"categorical", "ks", "binomial"}
+
+    def test_every_target_cites_its_source(self):
+        for spec in all_targets():
+            assert spec.source.startswith(("Table", "Figure", "Section"))
+
+    def test_scale_slack_widens_small_scales_only(self):
+        by_name = {spec.name: spec for spec in all_targets()}
+        slacked = by_name["process_label_mix"]
+        assert slacked.scale_slack > 0
+        assert slacked.tolerance_at(1.0) == slacked.tolerance
+        assert slacked.tolerance_at(0.02) > slacked.tolerance
+        plain = by_name["file_label_mix"]
+        assert plain.tolerance_at(0.02) == plain.tolerance
+
+    def test_plain_mix_tolerances_reject_ten_point_shifts(self):
+        # The acceptance criterion's precondition: every categorical
+        # tolerance without documented scale slack stays below TVD 0.10.
+        for spec in all_targets():
+            if spec.kind == "categorical" and spec.scale_slack == 0.0:
+                assert spec.tolerance_at(0.02) < 0.10, spec.name
+
+
+class TestEvaluateSession:
+    def test_covers_every_registered_target(self, small_validation_results):
+        assert [r.name for r in small_validation_results] == list(
+            target_names()
+        )
+
+    def test_no_failures_at_fixture_scale(self, small_validation_results):
+        failing = [
+            r.name for r in small_validation_results if r.verdict == FAIL
+        ]
+        assert failing == []
+
+    def test_enough_targets_actually_evaluated(
+        self, small_validation_results
+    ):
+        evaluated = [
+            r for r in small_validation_results if r.verdict != SKIPPED
+        ]
+        assert len(evaluated) >= 10
+
+    def test_results_carry_the_full_record(self, small_validation_results):
+        for result in small_validation_results:
+            assert result.kind in {"categorical", "ks", "binomial"}
+            assert 0.0 <= result.p_value <= 1.0
+            assert result.effect >= 0.0
+            assert result.tolerance >= 0.0
+            if result.verdict == SKIPPED:
+                assert result.n == 0
+            else:
+                assert result.n > 0
+
+    def test_deterministic(self, small_session, small_validation_results):
+        again = evaluate_session(small_session)
+        assert [r.as_dict() for r in again] == [
+            r.as_dict() for r in small_validation_results
+        ]
+
+    def test_verdict_counters_emitted(self, small_session):
+        registry = obs_metrics.get_registry()
+        before = registry.snapshot()["counters"]
+        results = evaluate_session(small_session)
+        after = registry.snapshot()["counters"]
+        emitted = sum(
+            after.get(name, 0) - before.get(name, 0)
+            for name in (
+                "fidelity.targets_passed",
+                "fidelity.targets_failed",
+                "fidelity.targets_skipped",
+            )
+        )
+        assert emitted == len(results)
+
+    def test_respects_explicit_spec_subset(self, small_session):
+        subset = tuple(
+            spec for spec in all_targets() if spec.name == "file_label_mix"
+        )
+        results = evaluate_session(small_session, specs=subset)
+        assert [r.name for r in results] == ["file_label_mix"]
+
+    def test_round_trip_through_dict(self, small_validation_results):
+        for result in small_validation_results:
+            clone = TargetResult.from_dict(result.as_dict())
+            assert clone.name == result.name
+            assert clone.verdict == result.verdict
