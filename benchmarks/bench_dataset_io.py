@@ -1,0 +1,113 @@
+"""Dataset-store I/O throughput across layouts, with round-trip proof.
+
+Times one save -> load -> stream cycle of the shared bench corpus for
+each store layout (plain single-part, gzip, chunked, gzip+chunked; see
+:mod:`repro.telemetry.store`), asserting on every variant that the
+reloaded dataset's ``content_digest`` is bit-identical to the original
+-- the store's core guarantee -- and that the streaming reader yields
+the same number of events without materializing the corpus.
+
+Results land in ``benchmarks/output/BENCH_dataset_io.json`` (rows/sec,
+on-disk bytes, per-layout timings) with a run manifest alongside, so CI
+can track I/O throughput and compression ratios over time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs.manifest import build_manifest
+from repro.telemetry import store
+
+from .common import OUTPUT_DIR
+from .conftest import BENCH_SCALE
+
+#: Timing repetitions; best-of is reported (steady-state comparison).
+REPEATS = 3
+
+#: (label, compress, chunk_rows) store layouts benched.
+LAYOUTS = [
+    ("plain", False, None),
+    ("gzip", True, None),
+    ("chunked", False, 20_000),
+    ("gzip_chunked", True, 20_000),
+]
+
+
+def _best_of(callable_, repeats: int = REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_dataset_io_round_trip(session, tmp_path):
+    dataset = session.dataset
+    digest = dataset.content_digest()
+    rows = len(dataset.events) + len(dataset.files) + len(dataset.processes)
+    start = time.perf_counter()
+
+    results = {}
+    for label, compress, chunk_rows in LAYOUTS:
+        directory = tmp_path / label
+        save_seconds, _ = _best_of(
+            lambda: store.save_dataset(
+                dataset, directory, compress=compress, chunk_rows=chunk_rows
+            )
+        )
+        load_seconds, reloaded = _best_of(lambda: store.load_dataset(directory))
+        stream_stats = store.ReadStats()
+        stream_seconds, streamed = _best_of(
+            lambda: sum(
+                1 for _ in store.iter_events(directory, stats=stream_stats)
+            )
+        )
+
+        # Correctness gates the timings: every layout must round-trip
+        # the corpus bit-for-bit and stream every event.
+        assert reloaded.content_digest() == digest, label
+        assert streamed == len(dataset.events), label
+
+        manifest = store.read_manifest(directory)
+        disk_bytes = sum(part.bytes for part in manifest.parts)
+        results[label] = {
+            "save_seconds": save_seconds,
+            "load_seconds": load_seconds,
+            "stream_seconds": stream_seconds,
+            "disk_bytes": disk_bytes,
+            "parts": len(manifest.parts),
+            "save_rows_per_second": rows / save_seconds,
+            "load_rows_per_second": rows / load_seconds,
+        }
+
+    plain_bytes = results["plain"]["disk_bytes"]
+    payload = {
+        "scale": BENCH_SCALE,
+        "events": len(dataset.events),
+        "files": len(dataset.files),
+        "processes": len(dataset.processes),
+        "rows": rows,
+        "content_digest": digest,
+        "repeats": REPEATS,
+        "gzip_compression_ratio": plain_bytes / results["gzip"]["disk_bytes"],
+        "layouts": results,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_dataset_io.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    manifest = build_manifest(
+        command="bench_dataset_io",
+        config=session.config,
+        wall_seconds=time.perf_counter() - start,
+    )
+    manifest.write(OUTPUT_DIR / "BENCH_dataset_io.manifest.json")
+
+    # Sanity floor rather than a tight bar: even the slowest layout must
+    # beat 5k rows/s, or something is pathologically wrong with I/O.
+    slowest = min(r["save_rows_per_second"] for r in results.values())
+    assert slowest > 5_000, f"dataset-store writes too slow: {slowest:.0f} rows/s"

@@ -1,8 +1,11 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows::
+Ten subcommands cover the common workflows::
 
     python -m repro.cli generate --scale 0.01 --out corpus/
+    python -m repro.cli export   --scale 0.01 --out store/ --compress \
+        --chunk-rows 100000
+    python -m repro.cli import   store/
     python -m repro.cli report   --scale 0.01 --experiment table1 fig5
     python -m repro.cli rules    --scale 0.01 --train-month 0 --tau 0.001
     python -m repro.cli evaluate --scale 0.01 --out results/
@@ -12,14 +15,18 @@ Seven subcommands cover the common workflows::
         --report-out fidelity_report.json
 
 ``generate`` exports the telemetry corpus (and its ground truth) as
-JSONL; ``report`` renders any subset of the paper's tables/figures;
-``rules`` prints the learned human-readable rules for one training
-month; ``evaluate`` runs the full Tables XVI/XVII experiment; ``run``
-executes the whole pipeline once (generate, collect, label, learn) and
-is the natural companion of the observability flags; ``stats`` prints
-the span tree and metrics snapshot for a run; ``validate`` is the
-statistical fidelity gate (:mod:`repro.validation`) -- it sweeps worlds
-across seeds, tests every calibration target, prints the verdict table,
+JSONL; ``export`` writes the corpus as a versioned, checksummed dataset
+store (:mod:`repro.telemetry.store` -- optionally gzip-compressed and
+chunked) and ``import`` reads one back with full verification (or
+``--lenient`` quarantining), exiting non-zero on any integrity fault;
+``report`` renders any subset of the paper's tables/figures; ``rules``
+prints the learned human-readable rules for one training month;
+``evaluate`` runs the full Tables XVI/XVII experiment; ``run`` executes
+the whole pipeline once (generate, collect, label, learn) and is the
+natural companion of the observability flags; ``stats`` prints the span
+tree and metrics snapshot for a run; ``validate`` is the statistical
+fidelity gate (:mod:`repro.validation`) -- it sweeps worlds across
+seeds, tests every calibration target, prints the verdict table,
 optionally writes the machine-readable report, and exits non-zero when
 the gate fails.
 
@@ -43,8 +50,9 @@ from .core.evaluation import full_evaluation, learn_rules
 from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
 from .obs import trace as obs_trace
-from .pipeline import Session, build_session
+from .pipeline import Session, build_session, export_session
 from .synth.world import WorldConfig
+from .telemetry import store as telemetry_store
 from .telemetry.io import save_dataset
 
 #: Experiment name -> renderer taking (labeled) or (labeled, alexa).
@@ -175,6 +183,60 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         f"{len(session.dataset.files)} files and their ground truth to "
         f"{out}/"
     )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Export the telemetry corpus as a verified dataset store."""
+    session = _session(args)
+    path = export_session(
+        session,
+        args.out,
+        compress=args.compress,
+        chunk_rows=args.chunk_rows,
+    )
+    manifest = telemetry_store.read_manifest(path)
+    assert manifest is not None  # save_dataset always writes one
+    print(
+        f"wrote {manifest.counts['events']} events, "
+        f"{manifest.counts['files']} files, "
+        f"{manifest.counts['processes']} processes in "
+        f"{len(manifest.parts)} part(s) to {path}/"
+    )
+    print(f"content digest: {manifest.content_digest}")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    """Re-import a dataset store, verifying (or quarantining) faults."""
+    from .pipeline import import_dataset
+
+    stats = telemetry_store.ReadStats()
+    strict = not args.lenient
+    try:
+        dataset = import_dataset(args.directory, strict=strict, stats=stats)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"import failed: {exc}", file=sys.stderr)
+        return 1
+    manifest = telemetry_store.read_manifest(args.directory)
+    print(
+        f"imported {len(dataset.events)} events, {len(dataset.files)} "
+        f"files, {len(dataset.processes)} processes "
+        f"({stats.bytes_read} bytes read)"
+    )
+    digest = dataset.content_digest()
+    if manifest is not None:
+        verdict = "OK" if digest == manifest.content_digest else "MISMATCH"
+        print(f"content digest: {digest} [{verdict} vs manifest]")
+    else:
+        print(f"content digest: {digest} [no manifest: legacy layout, "
+              f"unverified]")
+    if not strict:
+        print(
+            f"quarantined rows: {stats.rows_quarantined}, duplicates: "
+            f"{stats.rows_duplicate}, checksum failures: "
+            f"{stats.checksum_failures}"
+        )
     return 0
 
 
@@ -373,6 +435,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_arguments(generate)
     generate.add_argument("--out", required=True, help="output directory")
     generate.set_defaults(func=_cmd_generate)
+
+    export = commands.add_parser(
+        "export",
+        help="export the corpus as a checksummed dataset store "
+             "(optionally compressed/chunked)",
+    )
+    _add_world_arguments(export)
+    export.add_argument("--out", required=True, help="store directory")
+    export.add_argument("--compress", action="store_true",
+                        help="gzip-compress every JSONL part")
+    export.add_argument("--chunk-rows", type=int, default=None,
+                        metavar="N",
+                        help="split each table into parts of N rows "
+                             "(default: one part per table)")
+    export.set_defaults(func=_cmd_export)
+
+    import_ = commands.add_parser(
+        "import",
+        help="re-import a dataset store, verifying checksums and the "
+             "content digest (exit 1 on any integrity fault)",
+    )
+    import_.add_argument("directory", help="store directory to import")
+    import_.add_argument("--lenient", action="store_true",
+                         help="quarantine malformed/corrupt rows instead "
+                              "of failing fast")
+    import_.add_argument("--trace", action="store_true",
+                         help="record tracing spans and print the span "
+                              "tree after the run")
+    import_.add_argument("--metrics-out", metavar="PATH",
+                         help="write the metrics snapshot here (JSON, or "
+                              "Prometheus text for .prom/.txt paths) plus "
+                              "a <stem>.manifest.json run manifest "
+                              "alongside")
+    import_.set_defaults(func=_cmd_import)
 
     report = commands.add_parser(
         "report", help="render paper tables/figures"

@@ -15,7 +15,8 @@ and ``jobs`` to control generation parallelism on a cache miss.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from .labeling.ground_truth import (
     GroundTruthLabeler,
@@ -27,6 +28,7 @@ from .obs import metrics as obs_metrics
 from .obs import trace
 from .synth.cache import clear_world_cache, config_digest, get_world
 from .synth.world import World, WorldConfig
+from .telemetry import store as telemetry_store
 from .telemetry.dataset import TelemetryDataset
 
 _SESSIONS: Dict[str, "Session"] = {}
@@ -48,6 +50,8 @@ def build_session(
     config: Optional[WorldConfig] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
+    dataset_dir: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> Session:
     """Generate, collect and label one synthetic corpus.
 
@@ -55,16 +59,24 @@ def build_session(
     labeled session are memoized by config digest, so every later call
     with the same config -- from tests, benchmarks or examples -- reuses
     the generated world instead of rebuilding it.
+
+    ``dataset_dir`` points the session at a previously exported dataset
+    store (see :mod:`repro.telemetry.store` and :func:`export_session`):
+    the telemetry dataset is loaded -- and, in strict mode, checksum-
+    and digest-verified -- from disk instead of re-collected from the
+    world's raw corpus.  Imported sessions bypass the session memo,
+    since the store's content is not part of the config digest.
     """
     config = config or WorldConfig()
     digest = config_digest(config)
+    use_memo = cache and dataset_dir is None
     with trace.span(
         "pipeline.build_session",
         seed=config.seed,
         scale=config.scale,
         digest=digest[:12],
     ) as span:
-        if cache:
+        if use_memo:
             session = _SESSIONS.get(digest)
             if session is not None:
                 obs_metrics.counter(
@@ -75,8 +87,11 @@ def build_session(
                 return session
         with trace.span("pipeline.generate"):
             world = get_world(config, jobs=jobs, cache=cache)
-        with trace.span("pipeline.collect"):
-            dataset = world.collect()
+        if dataset_dir is not None:
+            dataset = import_dataset(dataset_dir, strict=strict)
+        else:
+            with trace.span("pipeline.collect"):
+                dataset = world.collect()
         with trace.span("pipeline.label"):
             labeler = build_labeler(world, dataset)
             labeled = labeler.label_dataset(dataset)
@@ -89,13 +104,51 @@ def build_session(
             labeler=labeler,
             alexa=alexa,
         )
-        if cache:
+        if use_memo:
             _SESSIONS[digest] = session
         obs_metrics.counter(
             "pipeline.sessions_built", "Sessions built from scratch"
         ).inc()
         span.set_attribute("events", len(dataset.events))
     return session
+
+
+def export_session(
+    session: Session,
+    directory: Union[str, Path],
+    *,
+    compress: bool = False,
+    chunk_rows: Optional[int] = None,
+) -> Path:
+    """Persist a session's telemetry dataset as an on-disk store.
+
+    Thin tracing wrapper over
+    :func:`repro.telemetry.store.save_dataset`; the export is atomic
+    (write-temp-then-rename, manifest last) and checksummed, so it can
+    be re-imported later with full verification via
+    :func:`import_dataset` or ``build_session(dataset_dir=...)``.
+    """
+    with trace.span("pipeline.export", directory=str(directory)):
+        return telemetry_store.save_dataset(
+            session.dataset, directory, compress=compress, chunk_rows=chunk_rows
+        )
+
+
+def import_dataset(
+    directory: Union[str, Path],
+    *,
+    strict: bool = True,
+    stats: Optional[telemetry_store.ReadStats] = None,
+) -> TelemetryDataset:
+    """Load a telemetry dataset from an on-disk store.
+
+    Strict mode verifies part checksums, row counts and the dataset
+    content digest and raises :class:`repro.telemetry.store.StoreError`
+    (a ``ValueError``) with file/line context on any fault; lenient mode
+    quarantines bad rows instead (pass ``stats`` to see what was lost).
+    """
+    with trace.span("pipeline.import", directory=str(directory), strict=strict):
+        return telemetry_store.load_dataset(directory, strict=strict, stats=stats)
 
 
 def validate_session(session: Session, p_floor: Optional[float] = None):

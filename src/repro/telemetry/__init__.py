@@ -13,11 +13,13 @@ from .collector import (
     CollectionServer,
     FilterStats,
     collect,
+    collect_from_store,
     collect_shards,
     merge_sorted_streams,
 )
 from .dataset import TelemetryDataset
 from .io import load_dataset, save_dataset
+from .store import ReadStats, StoreError, StoreManifest, iter_events, read_manifest
 from .events import (
     COLLECTION_DAYS,
     MONTH_NAMES,
@@ -43,15 +45,21 @@ __all__ = [
     "FileRecord",
     "FilterStats",
     "ProcessRecord",
+    "ReadStats",
     "ReportingPolicy",
     "SoftwareAgent",
+    "StoreError",
+    "StoreManifest",
     "TelemetryDataset",
     "collect",
+    "collect_from_store",
     "collect_shards",
+    "iter_events",
     "merge_sorted_streams",
     "domain_of_url",
     "effective_2ld",
     "load_dataset",
     "month_of",
+    "read_manifest",
     "save_dataset",
 ]

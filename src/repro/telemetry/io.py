@@ -1,75 +1,60 @@
-"""Dataset serialization: JSON-lines export/import.
+"""Dataset serialization: JSON-lines export/import (compat shim).
 
-A generated (or real) telemetry corpus can be persisted and reloaded so
-analyses do not need to regenerate worlds, and so external tooling can
-consume the data.  The format is three JSONL files inside a directory:
+This module kept growing production bugs -- non-atomic writes that a
+crash turned into silently smaller datasets, malformed rows escaping as
+bare ``TypeError`` with no file/line context, duplicate ``sha1`` rows
+silently resolved last-wins -- so the implementation moved to the
+versioned, checksummed, streaming :mod:`repro.telemetry.store`.  The
+two historical entry points below keep their exact signatures and
+delegate there.
 
-* ``events.jsonl``    -- one download event per line;
-* ``files.jsonl``     -- the file metadata table;
-* ``processes.jsonl`` -- the process metadata table.
+**Deprecated:** new code should import from
+:mod:`repro.telemetry.store` directly, which additionally offers
+compression, chunking, streaming reads (``iter_events``) and a lenient
+quarantining mode.  This shim is kept for backward compatibility and
+will be removed in a future major version.
 
-JSONL keeps the format line-streamable and diff-friendly; all fields are
-plain JSON scalars.
+The on-disk format is unchanged for readers of the legacy layout --
+three JSONL files (``events.jsonl``, ``files.jsonl``,
+``processes.jsonl``) inside a directory -- but exports now also carry a
+checksummed ``manifest.json``, each file is committed atomically
+(write-temp-then-rename), and loads verify row counts and checksums so
+a truncated export can no longer load as a valid smaller dataset.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Union
 
 from .dataset import TelemetryDataset
-from .events import DownloadEvent, FileRecord, ProcessRecord
+from .store import StoreError
+from .store import load_dataset as _store_load_dataset
+from .store import save_dataset as _store_save_dataset
 
-_EVENTS_FILE = "events.jsonl"
-_FILES_FILE = "files.jsonl"
-_PROCESSES_FILE = "processes.jsonl"
+__all__ = ["StoreError", "load_dataset", "save_dataset"]
 
 
 def save_dataset(dataset: TelemetryDataset, directory: Union[str, Path]) -> Path:
     """Write a dataset to ``directory`` (created if missing).
 
     Returns the directory path.  Existing exports in the directory are
-    overwritten.
+    overwritten.  Deprecated alias for
+    :func:`repro.telemetry.store.save_dataset` with the single-part
+    uncompressed (legacy) layout.
     """
-    path = Path(directory)
-    path.mkdir(parents=True, exist_ok=True)
-    with open(path / _EVENTS_FILE, "w", encoding="utf-8") as handle:
-        for event in dataset.events:
-            handle.write(json.dumps(dataclasses.asdict(event)) + "\n")
-    with open(path / _FILES_FILE, "w", encoding="utf-8") as handle:
-        for record in dataset.files.values():
-            handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
-    with open(path / _PROCESSES_FILE, "w", encoding="utf-8") as handle:
-        for record in dataset.processes.values():
-            handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
-    return path
+    return _store_save_dataset(dataset, directory)
 
 
 def load_dataset(directory: Union[str, Path]) -> TelemetryDataset:
     """Read a dataset previously written by :func:`save_dataset`.
 
     Raises :class:`FileNotFoundError` when any of the three JSONL files
-    is missing, and :class:`ValueError` on malformed rows (propagated
-    from the dataclass constructors / dataset validation).
+    is missing, and :class:`ValueError` (specifically
+    :class:`~repro.telemetry.store.StoreError`) with ``<file>:<line>``
+    context on malformed rows, duplicate sha1 rows, or -- when a
+    ``manifest.json`` is present -- truncated or checksum-mismatched
+    files.  Deprecated alias for
+    :func:`repro.telemetry.store.load_dataset` in strict mode.
     """
-    path = Path(directory)
-    events = []
-    with open(path / _EVENTS_FILE, encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                events.append(DownloadEvent(**json.loads(line)))
-    files: Dict[str, FileRecord] = {}
-    with open(path / _FILES_FILE, encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                record = FileRecord(**json.loads(line))
-                files[record.sha1] = record
-    processes: Dict[str, ProcessRecord] = {}
-    with open(path / _PROCESSES_FILE, encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                record = ProcessRecord(**json.loads(line))
-                processes[record.sha1] = record
-    return TelemetryDataset(events, files, processes)
+    return _store_load_dataset(directory, strict=True)

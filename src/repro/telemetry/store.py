@@ -1,0 +1,765 @@
+"""Versioned, checksummed, streaming on-disk dataset store.
+
+The naive JSONL exporter this module replaces (see
+:mod:`repro.telemetry.io`, now a thin compat shim) had three production
+bugs: non-atomic writes (a crash mid-save left a truncated
+``events.jsonl`` that later loaded *silently smaller*), a broken error
+contract (malformed rows escaped as bare ``TypeError`` with no
+file/line context) and silent last-wins deduplication of repeated
+``sha1`` rows.  The store fixes all three and adds the ingestion
+discipline a 3M-event corpus needs: chunking, compression, checksums
+and a streaming reader.
+
+Layout of a store directory::
+
+    manifest.json            -- schema version, table row counts, per-part
+                                SHA-256 + byte/row counts, dataset digest
+    events.jsonl[.gz]        -- single-part layout (chunk_rows=None), or
+    events-00000.jsonl[.gz]  -- fixed-size row chunks (chunk_rows=N)
+    files.jsonl[.gz]         -- file metadata table (same part naming)
+    processes.jsonl[.gz]     -- process metadata table
+    quarantine.jsonl         -- sidecar of rows rejected by lenient reads
+
+Guarantees:
+
+* **Atomic commits.**  Every part (and the manifest) is written to a
+  temp file and ``os.replace``-renamed into place -- the fd+rename idiom
+  of :func:`repro.synth.cache._disk_store` -- and the manifest is
+  written *last*, so a crash mid-save never yields a directory that
+  loads as a valid smaller dataset.
+* **Deterministic bytes.**  Rows are serialized in stable field order,
+  in dataset order, and gzip members are written with ``mtime=0``:
+  identical datasets export byte-identical stores.
+* **Verified reads.**  ``strict=True`` (the default) fails fast with
+  ``<file>:<line>`` context on any malformed row, duplicate sha1,
+  truncated or checksum-mismatched part, and cross-checks the reloaded
+  dataset's :meth:`~repro.telemetry.dataset.TelemetryDataset.content_digest`
+  against the manifest.  All strict failures are :class:`StoreError`, a
+  :class:`ValueError` subclass, honoring the documented load contract.
+* **Graceful degradation.**  ``strict=False`` quarantines malformed or
+  orphaned rows to ``quarantine.jsonl``, keeps the first of duplicate
+  sha1 rows (counting and warning), and skips the unreadable remainder
+  of a corrupt part -- always producing a valid (possibly smaller)
+  dataset plus :class:`ReadStats` telling you exactly what was lost.
+
+Reads and writes report ``store.*`` metrics through
+:mod:`repro.obs.metrics` and run under ``store.save`` / ``store.load``
+/ ``store.iter_events`` trace spans.  Directories without a
+``manifest.json`` (pre-store legacy exports) are still readable: parts
+are discovered by name and every per-row check applies, but there are
+no checksums or row counts to verify against.  A corrupt
+``manifest.json`` raises in both modes; delete it to force the legacy
+path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+import zlib
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from .dataset import TelemetryDataset
+from .events import DownloadEvent, FileRecord, ProcessRecord
+
+__all__ = [
+    "MANIFEST_FILE",
+    "QUARANTINE_FILE",
+    "SCHEMA",
+    "PartInfo",
+    "ReadStats",
+    "StoreError",
+    "StoreManifest",
+    "iter_events",
+    "load_dataset",
+    "read_files",
+    "read_manifest",
+    "read_processes",
+    "save_dataset",
+]
+
+#: Manifest schema identifier; bump on incompatible layout changes.
+SCHEMA = "telemetry-store-v1"
+
+MANIFEST_FILE = "manifest.json"
+QUARANTINE_FILE = "quarantine.jsonl"
+
+_TABLES = ("events", "files", "processes")
+_READ_CHUNK = 1 << 20
+_QUARANTINE_RAW_LIMIT = 500
+
+
+class StoreError(ValueError):
+    """A strict-mode dataset-store failure.
+
+    Subclasses :class:`ValueError` so the long-documented
+    ``load_dataset`` error contract ("ValueError on malformed rows")
+    holds for *every* failure mode; messages always carry
+    ``<file>[:<line>]`` context.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class PartInfo:
+    """Manifest record for one on-disk JSONL part."""
+
+    name: str
+    table: str
+    rows: int
+    bytes: int
+    sha256: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreManifest:
+    """Parsed, validated ``manifest.json``."""
+
+    schema: str
+    compress: bool
+    chunk_rows: Optional[int]
+    counts: Dict[str, int]
+    content_digest: str
+    parts: Tuple[PartInfo, ...]
+
+    def parts_for(self, table: str) -> List[PartInfo]:
+        """The parts of one table, in manifest (= write) order."""
+        return [part for part in self.parts if part.table == table]
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["parts"] = [part.to_dict() for part in self.parts]
+        return payload
+
+
+@dataclasses.dataclass
+class ReadStats:
+    """What one store read actually consumed, kept and rejected.
+
+    Pass an instance to any reader to collect per-call telemetry (the
+    process-wide ``store.*`` metrics are updated regardless).
+    """
+
+    bytes_read: int = 0
+    rows_read: int = 0
+    rows_quarantined: int = 0
+    rows_duplicate: int = 0
+    parts_read: int = 0
+    checksum_failures: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+
+
+class _HashingWriter:
+    """Tees writes into a SHA-256 and a byte count on the way to disk."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self.hasher = hashlib.sha256()
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> int:
+        self.hasher.update(data)
+        self.bytes_written += len(data)
+        return self._handle.write(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+
+def _write_part(path: Path, lines: Iterable[bytes], compress: bool) -> Tuple[int, str]:
+    """Atomically write one JSONL part; returns (bytes, sha256) on disk.
+
+    The checksum covers the final on-disk bytes (compressed, when
+    ``compress``), so readers can verify without decompressing first.
+    ``mtime=0`` keeps gzip output deterministic.
+    """
+    fd, temp_name = tempfile.mkstemp(prefix=path.name, suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as raw:
+            writer = _HashingWriter(raw)
+            if compress:
+                with gzip.GzipFile(fileobj=writer, mode="wb", mtime=0) as zipped:
+                    for line in lines:
+                        zipped.write(line)
+            else:
+                for line in lines:
+                    writer.write(line)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    os.replace(temp_name, path)
+    return writer.bytes_written, writer.hasher.hexdigest()
+
+
+def _encode_row(record: Any) -> bytes:
+    return (json.dumps(dataclasses.asdict(record)) + "\n").encode("utf-8")
+
+
+def _write_table(
+    directory: Path,
+    table: str,
+    records: Iterable[Any],
+    compress: bool,
+    chunk_rows: Optional[int],
+) -> List[PartInfo]:
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    parts: List[PartInfo] = []
+    chunk: List[bytes] = []
+
+    def flush() -> None:
+        if chunk_rows is None:
+            name = f"{table}{suffix}"
+        else:
+            name = f"{table}-{len(parts):05d}{suffix}"
+        nbytes, digest = _write_part(directory / name, chunk, compress)
+        parts.append(PartInfo(name, table, len(chunk), nbytes, digest))
+        chunk.clear()
+
+    for record in records:
+        chunk.append(_encode_row(record))
+        if chunk_rows is not None and len(chunk) >= chunk_rows:
+            flush()
+    # Always emit at least one part, so readers can tell an empty table
+    # from a missing file.
+    if chunk or not parts:
+        flush()
+    return parts
+
+
+def _remove_existing(directory: Path) -> None:
+    """Drop a previous export so stale parts can never be re-discovered.
+
+    The manifest goes first: should cleanup be interrupted, the
+    directory degrades to a legacy (unverified) layout instead of a
+    manifest pointing at missing parts.
+    """
+    stale = [directory / MANIFEST_FILE, directory / QUARANTINE_FILE]
+    for table in _TABLES:
+        for pattern in (f"{table}.jsonl*", f"{table}-[0-9]*.jsonl*"):
+            stale.extend(directory.glob(pattern))
+    for path in stale:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def save_dataset(
+    dataset: TelemetryDataset,
+    directory: Union[str, Path],
+    *,
+    compress: bool = False,
+    chunk_rows: Optional[int] = None,
+) -> Path:
+    """Write ``dataset`` to ``directory`` (created if missing) atomically.
+
+    ``chunk_rows=None`` writes one part per table (``events.jsonl``,
+    ... -- the legacy-compatible layout); ``chunk_rows=N`` splits each
+    table into fixed-size parts (``events-00000.jsonl``, ...).
+    ``compress=True`` gzips every part (deterministically).  Returns the
+    directory path.  Any previous export in the directory is replaced.
+    """
+    if chunk_rows is not None and chunk_rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with trace.span(
+        "store.save", compress=compress, chunk_rows=chunk_rows
+    ) as span:
+        _remove_existing(path)
+        parts = _write_table(path, "events", dataset.events, compress, chunk_rows)
+        parts += _write_table(
+            path, "files", dataset.files.values(), compress, chunk_rows
+        )
+        parts += _write_table(
+            path, "processes", dataset.processes.values(), compress, chunk_rows
+        )
+        manifest = StoreManifest(
+            schema=SCHEMA,
+            compress=compress,
+            chunk_rows=chunk_rows,
+            counts={
+                "events": len(dataset.events),
+                "files": len(dataset.files),
+                "processes": len(dataset.processes),
+            },
+            content_digest=dataset.content_digest(),
+            parts=tuple(parts),
+        )
+        payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+        # The manifest commits the export: readers treat its absence as
+        # "legacy or incomplete", never as a smaller valid dataset.
+        _write_part(path / MANIFEST_FILE, [payload.encode("utf-8")], compress=False)
+        rows = sum(part.rows for part in parts)
+        nbytes = sum(part.bytes for part in parts)
+        span.set_attribute("rows", rows)
+        span.set_attribute("bytes", nbytes)
+    obs_metrics.counter(
+        "store.rows_written", "Rows written to dataset stores"
+    ).inc(rows)
+    obs_metrics.counter(
+        "store.bytes_written", "On-disk bytes written to dataset stores"
+    ).inc(nbytes)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+
+
+class _HashingReader:
+    """Binary reader wrapper hashing/counting the on-disk bytes."""
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self.hasher = hashlib.sha256()
+        self.bytes_read = 0
+
+    def read(self, size: int = -1) -> bytes:
+        data = self._handle.read(size)
+        if data:
+            self.hasher.update(data)
+            self.bytes_read += len(data)
+        return data
+
+    def readable(self) -> bool:  # pragma: no cover - gzip plumbing
+        return True
+
+    def seekable(self) -> bool:  # pragma: no cover - gzip plumbing
+        return False
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def _iter_lines(read: Callable[[int], bytes]) -> Iterator[bytes]:
+    """Newline-split a chunked byte stream without loading it whole."""
+    pending = b""
+    while True:
+        chunk = read(_READ_CHUNK)
+        if not chunk:
+            break
+        pending += chunk
+        lines = pending.split(b"\n")
+        pending = lines.pop()
+        for line in lines:
+            yield line
+    if pending:
+        yield pending
+
+
+class _ReadContext:
+    """Shared strict/lenient fault handling for one read operation."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        strict: bool,
+        stats: Optional[ReadStats],
+    ) -> None:
+        self.directory = Path(directory)
+        self.strict = strict
+        self.stats = stats if stats is not None else ReadStats()
+
+    def _quarantine(self, record: Dict[str, Any]) -> None:
+        try:
+            with open(
+                self.directory / QUARANTINE_FILE, "a", encoding="utf-8"
+            ) as handle:
+                handle.write(json.dumps(record) + "\n")
+        except OSError:
+            # Quarantine is best-effort bookkeeping; a read-only store
+            # must still be loadable leniently.
+            pass
+
+    def fault(
+        self,
+        location: str,
+        error: str,
+        raw: Optional[bytes] = None,
+        rows_lost: int = 1,
+    ) -> None:
+        """One unusable row (or part remainder): raise or quarantine."""
+        if self.strict:
+            raise StoreError(f"{location}: {error}")
+        self.stats.rows_quarantined += rows_lost
+        obs_metrics.counter(
+            "store.rows_quarantined",
+            "Rows quarantined by lenient dataset-store reads",
+        ).inc(rows_lost)
+        record: Dict[str, Any] = {"location": location, "error": error}
+        if raw is not None:
+            record["raw"] = raw.decode("utf-8", "replace")[:_QUARANTINE_RAW_LIMIT]
+        if rows_lost != 1:
+            record["rows_lost"] = rows_lost
+        self._quarantine(record)
+
+    def integrity(self, location: str, error: str) -> None:
+        """An integrity failure where the rows themselves were kept."""
+        if self.strict:
+            raise StoreError(f"{location}: {error}")
+        self.stats.checksum_failures += 1
+        obs_metrics.counter(
+            "store.checksum_failures",
+            "Checksum/row-count mismatches tolerated by lenient reads",
+        ).inc()
+        self._quarantine({"location": location, "error": error, "rows_lost": 0})
+        warnings.warn(f"{location}: {error}", RuntimeWarning, stacklevel=3)
+
+    def duplicate(self, location: str, table: str, sha1: str) -> None:
+        if self.strict:
+            raise StoreError(
+                f"{location}: duplicate sha1 {sha1!r} in {table} table"
+            )
+        self.stats.rows_duplicate += 1
+        obs_metrics.counter(
+            "store.rows_duplicate",
+            "Duplicate sha1 rows ignored by lenient dataset-store reads",
+        ).inc()
+        self._quarantine(
+            {"location": location, "error": f"duplicate sha1 in {table} table",
+             "sha1": sha1, "rows_lost": 0}
+        )
+
+
+def read_manifest(directory: Union[str, Path]) -> Optional[StoreManifest]:
+    """Parse and validate ``manifest.json``; ``None`` when absent.
+
+    A present-but-corrupt manifest raises :class:`StoreError` in every
+    mode -- a store whose metadata cannot be trusted must not be read
+    silently.  (Delete the manifest to force the unverified legacy
+    path.)
+    """
+    path = Path(directory) / MANIFEST_FILE
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"{MANIFEST_FILE}: unreadable manifest: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StoreError(f"{MANIFEST_FILE}: manifest is not a JSON object")
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise StoreError(
+            f"{MANIFEST_FILE}: unsupported schema {schema!r} "
+            f"(this reader supports {SCHEMA!r})"
+        )
+    try:
+        parts = tuple(
+            PartInfo(
+                name=str(entry["name"]),
+                table=str(entry["table"]),
+                rows=int(entry["rows"]),
+                bytes=int(entry["bytes"]),
+                sha256=str(entry["sha256"]),
+            )
+            for entry in payload["parts"]
+        )
+        manifest = StoreManifest(
+            schema=schema,
+            compress=bool(payload["compress"]),
+            chunk_rows=payload["chunk_rows"],
+            counts={key: int(value) for key, value in payload["counts"].items()},
+            content_digest=str(payload["content_digest"]),
+            parts=parts,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"{MANIFEST_FILE}: malformed manifest: {exc}") from exc
+    for table in _TABLES:
+        declared = manifest.counts.get(table)
+        from_parts = sum(part.rows for part in manifest.parts_for(table))
+        if declared is None or declared != from_parts:
+            raise StoreError(
+                f"{MANIFEST_FILE}: {table} count {declared!r} disagrees with "
+                f"part rows ({from_parts})"
+            )
+    return manifest
+
+
+def _table_parts(
+    ctx: _ReadContext, manifest: Optional[StoreManifest], table: str
+) -> List[Tuple[Path, Optional[PartInfo]]]:
+    """Resolve the on-disk parts of one table, manifest-first."""
+    if manifest is not None:
+        resolved: List[Tuple[Path, Optional[PartInfo]]] = []
+        for info in manifest.parts_for(table):
+            path = ctx.directory / info.name
+            if not path.is_file():
+                if ctx.strict:
+                    raise FileNotFoundError(str(path))
+                ctx.fault(info.name, "part listed in manifest is missing",
+                          rows_lost=info.rows)
+                continue
+            resolved.append((path, info))
+        return resolved
+    found = [
+        path
+        for pattern in (f"{table}.jsonl", f"{table}.jsonl.gz",
+                        f"{table}-[0-9]*.jsonl", f"{table}-[0-9]*.jsonl.gz")
+        for path in sorted(ctx.directory.glob(pattern))
+    ]
+    if not found:
+        raise FileNotFoundError(str(ctx.directory / f"{table}.jsonl"))
+    return [(path, None) for path in found]
+
+
+def _iter_table_rows(
+    ctx: _ReadContext, manifest: Optional[StoreManifest], table: str
+) -> Iterator[Tuple[str, int, Dict[str, Any], bytes]]:
+    """Stream ``(part_name, lineno, parsed_row, raw_line)`` for a table.
+
+    Verifies each part's byte checksum and row count against the
+    manifest as a side effect of streaming -- no second pass over the
+    file -- and applies the context's strict/lenient fault policy.
+    """
+    for path, info in _table_parts(ctx, manifest, table):
+        compressed = path.name.endswith(".gz")
+        rows_emitted = 0
+        rows_failed = 0  # line-level faults already quarantined here
+        lineno = 0
+        raw = open(path, "rb")
+        hashing = _HashingReader(raw)
+        corrupt = False
+        try:
+            if compressed:
+                source = gzip.GzipFile(fileobj=hashing, mode="rb")
+                read = source.read
+            else:
+                read = hashing.read
+            try:
+                for line in _iter_lines(read):
+                    lineno += 1
+                    if not line.strip():
+                        continue
+                    try:
+                        obj = json.loads(line)
+                    except ValueError as exc:
+                        ctx.fault(f"{path.name}:{lineno}",
+                                  f"invalid JSON: {exc}", raw=line)
+                        rows_failed += 1
+                        continue
+                    if not isinstance(obj, dict):
+                        ctx.fault(f"{path.name}:{lineno}",
+                                  "row is not a JSON object", raw=line)
+                        rows_failed += 1
+                        continue
+                    rows_emitted += 1
+                    yield path.name, lineno, obj, line
+            except (OSError, EOFError, zlib.error) as exc:
+                # A corrupt (typically gzip) part cannot be read past the
+                # damage; the remainder is lost.
+                corrupt = True
+                lost = 1
+                if info is not None:
+                    lost = max(info.rows - rows_emitted, 1)
+                ctx.fault(path.name, f"corrupt part: {exc}", rows_lost=lost)
+        finally:
+            raw.close()
+        ctx.stats.parts_read += 1
+        ctx.stats.bytes_read += hashing.bytes_read
+        ctx.stats.rows_read += rows_emitted
+        obs_metrics.counter(
+            "store.bytes_read", "On-disk bytes read from dataset stores"
+        ).inc(hashing.bytes_read)
+        obs_metrics.counter(
+            "store.rows_read", "Rows read from dataset stores"
+        ).inc(rows_emitted)
+        if info is None or corrupt:
+            continue
+        # Lines that failed parsing still occupied a row on disk, so a
+        # quarantined line must not additionally count as "missing".
+        consumed = rows_emitted + rows_failed
+        if consumed != info.rows:
+            if ctx.strict:
+                raise StoreError(
+                    f"{path.name}: expected {info.rows} rows, read "
+                    f"{rows_emitted} (truncated export?)"
+                )
+            ctx.fault(
+                path.name,
+                f"expected {info.rows} rows, read {consumed}",
+                rows_lost=max(info.rows - consumed, 0),
+            )
+        elif (
+            hashing.bytes_read != info.bytes
+            or hashing.hasher.hexdigest() != info.sha256
+        ):
+            ctx.integrity(
+                path.name,
+                "sha256 checksum mismatch (file modified after export?)",
+            )
+
+
+def _build_record(
+    ctx: _ReadContext,
+    factory: Type,
+    location: str,
+    obj: Dict[str, Any],
+    raw: bytes,
+):
+    try:
+        return factory(**obj)
+    except TypeError as exc:
+        # Unexpected/missing keys surface as TypeError from the
+        # dataclass constructor; rewrap to honor the ValueError-with-
+        # context contract.
+        ctx.fault(location, f"invalid {factory.__name__} row: {exc}", raw=raw)
+        return None
+
+
+def _read_table_records(
+    ctx: _ReadContext,
+    manifest: Optional[StoreManifest],
+    table: str,
+    factory: Type,
+) -> Dict[str, Any]:
+    records: Dict[str, Any] = {}
+    duplicates = 0
+    for name, lineno, obj, raw in _iter_table_rows(ctx, manifest, table):
+        record = _build_record(ctx, factory, f"{name}:{lineno}", obj, raw)
+        if record is None:
+            continue
+        if record.sha1 in records:
+            ctx.duplicate(f"{name}:{lineno}", table, record.sha1)
+            duplicates += 1
+            continue  # lenient: first occurrence wins, deterministically
+        records[record.sha1] = record
+    if duplicates:
+        warnings.warn(
+            f"{table} table: ignored {duplicates} duplicate sha1 row(s) "
+            f"(kept first occurrence)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return records
+
+
+def read_files(
+    directory: Union[str, Path],
+    *,
+    strict: bool = True,
+    stats: Optional[ReadStats] = None,
+) -> Dict[str, FileRecord]:
+    """Load the file metadata table (small; always materialized)."""
+    ctx = _ReadContext(directory, strict, stats)
+    return _read_table_records(ctx, read_manifest(directory), "files", FileRecord)
+
+
+def read_processes(
+    directory: Union[str, Path],
+    *,
+    strict: bool = True,
+    stats: Optional[ReadStats] = None,
+) -> Dict[str, ProcessRecord]:
+    """Load the process metadata table (small; always materialized)."""
+    ctx = _ReadContext(directory, strict, stats)
+    return _read_table_records(
+        ctx, read_manifest(directory), "processes", ProcessRecord
+    )
+
+
+def iter_events(
+    directory: Union[str, Path],
+    *,
+    strict: bool = True,
+    stats: Optional[ReadStats] = None,
+) -> Iterator[DownloadEvent]:
+    """Stream the event log without materializing it.
+
+    Events are yielded in stored order -- timestamp-sorted for any store
+    written by :func:`save_dataset` -- so the stream satisfies
+    :meth:`repro.telemetry.collector.CollectionServer.submit`'s ordering
+    contract and can be fed straight into
+    :func:`repro.telemetry.collector.collect`.  Checksums are verified
+    as the bytes stream by; in strict mode a mismatch raises after the
+    affected part's rows were yielded (abort on exception).
+    """
+    ctx = _ReadContext(directory, strict, stats)
+    manifest = read_manifest(directory)
+    with trace.span("store.iter_events", strict=strict):
+        for name, lineno, obj, raw in _iter_table_rows(ctx, manifest, "events"):
+            event = _build_record(ctx, DownloadEvent, f"{name}:{lineno}", obj, raw)
+            if event is not None:
+                yield event
+
+
+def load_dataset(
+    directory: Union[str, Path],
+    *,
+    strict: bool = True,
+    stats: Optional[ReadStats] = None,
+) -> TelemetryDataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises :class:`FileNotFoundError` when a table (or a manifest-listed
+    part, in strict mode) is missing, and :class:`StoreError` -- a
+    :class:`ValueError` -- with ``<file>:<line>`` context on malformed
+    rows, duplicate sha1 rows, truncation, checksum mismatches or a
+    dataset-digest mismatch (strict mode).  In lenient mode
+    (``strict=False``) every such fault is quarantined or counted
+    instead (see :class:`ReadStats`) and a valid dataset of the
+    surviving rows is returned.
+    """
+    ctx = _ReadContext(directory, strict, stats)
+    with trace.span("store.load", strict=strict) as span:
+        manifest = read_manifest(directory)
+        files = _read_table_records(ctx, manifest, "files", FileRecord)
+        processes = _read_table_records(ctx, manifest, "processes", ProcessRecord)
+        events: List[DownloadEvent] = []
+        for name, lineno, obj, raw in _iter_table_rows(ctx, manifest, "events"):
+            event = _build_record(ctx, DownloadEvent, f"{name}:{lineno}", obj, raw)
+            if event is None:
+                continue
+            if event.file_sha1 not in files or event.process_sha1 not in processes:
+                ctx.fault(
+                    f"{name}:{lineno}",
+                    "event references sha1 missing from the metadata tables",
+                    raw=raw,
+                )
+                continue
+            events.append(event)
+        dataset = TelemetryDataset(events, files, processes)
+        if strict and manifest is not None:
+            digest = dataset.content_digest()
+            if digest != manifest.content_digest:
+                raise StoreError(
+                    f"{MANIFEST_FILE}: dataset content digest mismatch "
+                    f"(manifest {manifest.content_digest[:12]}..., "
+                    f"loaded {digest[:12]}...)"
+                )
+        span.set_attribute("events", len(events))
+        span.set_attribute("quarantined", ctx.stats.rows_quarantined)
+    return dataset

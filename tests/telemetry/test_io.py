@@ -1,4 +1,6 @@
-"""Tests for dataset JSONL serialization."""
+"""Tests for dataset JSONL serialization (the legacy compat shim)."""
+
+import json
 
 import pytest
 
@@ -55,3 +57,50 @@ class TestRoundTrip:
             small_session.dataset.file_prevalence
         )
         assert reloaded.machine_ids == small_session.dataset.machine_ids
+
+    def test_world_round_trip_digest_exact(self, small_session, tmp_path):
+        save_dataset(small_session.dataset, tmp_path / "world")
+        reloaded = load_dataset(tmp_path / "world")
+        assert reloaded.content_digest() == (
+            small_session.dataset.content_digest()
+        )
+
+
+class TestAtomicityAndVerification:
+    """The legacy path's silent-truncation and error-contract bugfixes."""
+
+    def test_save_writes_manifest_and_no_temp_files(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "corpus")
+        assert (directory / "manifest.json").exists()
+        assert not list(directory.glob("*.tmp"))
+
+    def test_truncated_export_refused(self, tmp_path):
+        """A crash-truncated events.jsonl must not load silently smaller."""
+        directory = save_dataset(_dataset(), tmp_path / "corpus")
+        events = directory / "events.jsonl"
+        first_line = events.read_text(encoding="utf-8").splitlines()[0]
+        events.write_text(first_line + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="events.jsonl"):
+            load_dataset(directory)
+
+    def test_malformed_row_raises_value_error_with_context(self, tmp_path):
+        """The docstring's ValueError contract, with file:line context."""
+        directory = save_dataset(_dataset(), tmp_path / "corpus")
+        events = directory / "events.jsonl"
+        lines = events.read_text(encoding="utf-8").splitlines()
+        row = json.loads(lines[1])
+        row["unexpected_key"] = True
+        lines[1] = json.dumps(row)
+        events.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="events.jsonl:2"):
+            load_dataset(directory)
+
+    def test_duplicate_sha1_rows_rejected(self, tmp_path):
+        """Duplicate sha1 rows are no longer silently last-wins."""
+        directory = save_dataset(_dataset(), tmp_path / "corpus")
+        files = directory / "files.jsonl"
+        first_line = files.read_text(encoding="utf-8").splitlines()[0]
+        with open(files, "a", encoding="utf-8") as handle:
+            handle.write(first_line + "\n")
+        with pytest.raises(ValueError, match="duplicate sha1"):
+            load_dataset(directory)

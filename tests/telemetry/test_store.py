@@ -1,0 +1,408 @@
+"""Tests for the versioned dataset store: round trips and fault injection."""
+
+import gzip
+import hashlib
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.telemetry.agent import ReportingPolicy
+from repro.telemetry.collector import collect_from_store
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.events import DownloadEvent, FileRecord, ProcessRecord
+from repro.telemetry.store import (
+    MANIFEST_FILE,
+    QUARANTINE_FILE,
+    SCHEMA,
+    ReadStats,
+    StoreError,
+    iter_events,
+    load_dataset,
+    read_manifest,
+    save_dataset,
+)
+
+F1 = "1" * 40
+F2 = "2" * 40
+P1 = "p" * 40
+P2 = "q" * 40
+
+#: (compress, chunk_rows) layouts every round-trip property must hold for.
+LAYOUTS = [(False, None), (False, 2), (True, None), (True, 2)]
+
+
+def _dataset():
+    events = [
+        DownloadEvent(F1, "M0", P1, "http://dl.example.com/a.exe", 1.5),
+        DownloadEvent(F1, "M1", P1, "http://dl.example.com/a.exe", 2.5),
+        DownloadEvent(F2, "M0", P2, "http://cdn.example.org/b.exe", 3.25),
+        DownloadEvent(F2, "M2", P1, "http://cdn.example.org/b.exe", 40.0),
+        DownloadEvent(F1, "M2", P2, "http://dl.example.com/a.exe", 100.5),
+    ]
+    files = {
+        F1: FileRecord(F1, "a.exe", 1234, signer="S", ca="C", packer="UPX"),
+        F2: FileRecord(F2, "b.exe", 999),
+    }
+    processes = {
+        P1: ProcessRecord(P1, "chrome.exe", signer="Google Inc"),
+        P2: ProcessRecord(P2, "setup.exe"),
+    }
+    return TelemetryDataset(events, files, processes)
+
+
+def _events_part(directory):
+    """The first events part of an export, whatever the layout."""
+    for pattern in ("events.jsonl", "events-*.jsonl"):
+        found = sorted(directory.glob(pattern))
+        if found:
+            return found[0]
+    raise AssertionError(f"no uncompressed events part in {directory}")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("compress,chunk_rows", LAYOUTS)
+    def test_digest_preserved(self, tmp_path, compress, chunk_rows):
+        original = _dataset()
+        save_dataset(original, tmp_path / "c", compress=compress,
+                     chunk_rows=chunk_rows)
+        reloaded = load_dataset(tmp_path / "c")
+        assert reloaded.content_digest() == original.content_digest()
+        assert list(reloaded.events) == list(original.events)
+        assert reloaded.files == original.files
+        assert reloaded.processes == original.processes
+
+    def test_world_round_trip_compressed_chunked(self, small_session, tmp_path):
+        """Digest-exact round trip at a second (generated-world) scale."""
+        dataset = small_session.dataset
+        save_dataset(dataset, tmp_path / "w", compress=True, chunk_rows=1000)
+        reloaded = load_dataset(tmp_path / "w")
+        assert reloaded.content_digest() == dataset.content_digest()
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_deterministic_bytes(self, tmp_path, compress):
+        """Identical datasets export byte-identical stores (gzip mtime=0)."""
+        save_dataset(_dataset(), tmp_path / "a", compress=compress, chunk_rows=2)
+        save_dataset(_dataset(), tmp_path / "b", compress=compress, chunk_rows=2)
+        names_a = sorted(p.name for p in (tmp_path / "a").iterdir())
+        names_b = sorted(p.name for p in (tmp_path / "b").iterdir())
+        assert names_a == names_b
+        for name in names_a:
+            assert (tmp_path / "a" / name).read_bytes() == (
+                tmp_path / "b" / name
+            ).read_bytes()
+
+    def test_empty_dataset_round_trip(self, tmp_path):
+        empty = TelemetryDataset([], {}, {})
+        save_dataset(empty, tmp_path / "e", chunk_rows=10)
+        reloaded = load_dataset(tmp_path / "e")
+        assert len(reloaded) == 0
+        assert reloaded.content_digest() == empty.content_digest()
+
+    def test_resave_replaces_stale_layout(self, tmp_path):
+        """Re-exporting with another layout leaves no stale parts behind."""
+        directory = tmp_path / "c"
+        save_dataset(_dataset(), directory, chunk_rows=1)
+        assert (directory / "events-00000.jsonl").exists()
+        save_dataset(_dataset(), directory)  # single-part layout
+        assert not list(directory.glob("events-*.jsonl"))
+        reloaded = load_dataset(directory)
+        assert reloaded.content_digest() == _dataset().content_digest()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_dataset(_dataset(), tmp_path / "c", compress=True, chunk_rows=2)
+        assert not list((tmp_path / "c").glob("*.tmp"))
+
+    def test_manifest_contents(self, tmp_path):
+        original = _dataset()
+        directory = save_dataset(original, tmp_path / "c", chunk_rows=2)
+        manifest = read_manifest(directory)
+        assert manifest is not None
+        assert manifest.schema == SCHEMA
+        assert manifest.chunk_rows == 2
+        assert manifest.compress is False
+        assert manifest.counts == {"events": 5, "files": 2, "processes": 2}
+        assert manifest.content_digest == original.content_digest()
+        assert [p.name for p in manifest.parts_for("events")] == [
+            "events-00000.jsonl", "events-00001.jsonl", "events-00002.jsonl",
+        ]
+        for part in manifest.parts:
+            blob = (directory / part.name).read_bytes()
+            assert len(blob) == part.bytes
+            assert hashlib.sha256(blob).hexdigest() == part.sha256
+
+    def test_read_manifest_absent(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+
+    def test_chunk_rows_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset(_dataset(), tmp_path / "c", chunk_rows=0)
+
+
+class TestStreaming:
+    @pytest.mark.parametrize("compress,chunk_rows", LAYOUTS)
+    def test_iter_events_matches_dataset(self, tmp_path, compress, chunk_rows):
+        original = _dataset()
+        save_dataset(original, tmp_path / "c", compress=compress,
+                     chunk_rows=chunk_rows)
+        assert list(iter_events(tmp_path / "c")) == list(original.events)
+
+    def test_iter_events_is_lazy(self, tmp_path):
+        save_dataset(_dataset(), tmp_path / "c")
+        stream = iter_events(tmp_path / "c")
+        assert next(stream) == _dataset().events[0]
+
+    def test_collect_from_store_matches_in_memory(self, small_session, tmp_path):
+        """Streaming a store through the CS reproduces the dataset."""
+        dataset = small_session.dataset
+        save_dataset(dataset, tmp_path / "w", compress=True, chunk_rows=2000)
+        policy = ReportingPolicy(sigma=small_session.config.sigma)
+        recollected, stats = collect_from_store(tmp_path / "w", policy)
+        assert stats.reported == len(dataset)
+        assert recollected.content_digest() == dataset.content_digest()
+
+    def test_legacy_layout_without_manifest(self, tmp_path):
+        """Pre-store exports (no manifest) stay loadable, unverified."""
+        original = _dataset()
+        directory = save_dataset(original, tmp_path / "c")
+        (directory / MANIFEST_FILE).unlink()
+        reloaded = load_dataset(directory)
+        assert reloaded.content_digest() == original.content_digest()
+
+
+class TestStrictFaults:
+    def test_truncated_part_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        part.write_text("\n".join(lines[:-1]) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"events\.jsonl.*truncated"):
+            load_dataset(directory)
+
+    def test_bad_json_line_has_file_and_line(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        lines[1] = "{this is not json"
+        part.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"events\.jsonl:2: invalid JSON"):
+            load_dataset(directory)
+
+    def test_unexpected_key_wrapped_as_value_error(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        row = json.loads(lines[0])
+        row["surprise"] = 1
+        lines[0] = json.dumps(row)
+        part.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError,
+                           match=r"events\.jsonl:1: invalid DownloadEvent"):
+            load_dataset(directory)
+
+    def test_missing_key_wrapped_as_value_error(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "files.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        row = json.loads(lines[0])
+        del row["size_bytes"]
+        lines[0] = json.dumps(row)
+        part.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError,
+                           match=r"files\.jsonl:1: invalid FileRecord"):
+            load_dataset(directory)
+
+    def test_in_place_tamper_fails_checksum(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "files.jsonl"
+        text = part.read_text(encoding="utf-8")
+        part.write_text(text.replace("a.exe", "x.exe"), encoding="utf-8")
+        with pytest.raises(ValueError, match=r"files\.jsonl.*checksum"):
+            load_dataset(directory)
+
+    def test_corrupt_gzip_part_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c", compress=True)
+        part = directory / "events.jsonl.gz"
+        blob = bytearray(part.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        part.write_bytes(bytes(blob))
+        with pytest.raises(ValueError):
+            load_dataset(directory)
+
+    def test_duplicate_sha1_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "files.jsonl"
+        first = part.read_text(encoding="utf-8").splitlines()[0]
+        with open(part, "a", encoding="utf-8") as handle:
+            handle.write(first + "\n")
+        with pytest.raises(ValueError, match=r"files\.jsonl:3: duplicate sha1"):
+            load_dataset(directory)
+
+    def test_duplicate_sha1_refused_without_manifest(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        (directory / MANIFEST_FILE).unlink()
+        part = directory / "processes.jsonl"
+        first = part.read_text(encoding="utf-8").splitlines()[0]
+        with open(part, "a", encoding="utf-8") as handle:
+            handle.write(first + "\n")
+        with pytest.raises(ValueError, match="duplicate sha1"):
+            load_dataset(directory)
+
+    def test_manifest_count_tamper_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        manifest_path = directory / MANIFEST_FILE
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["counts"]["events"] -= 1
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(StoreError, match="disagrees with part rows"):
+            load_dataset(directory)
+
+    def test_manifest_digest_tamper_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        manifest_path = directory / MANIFEST_FILE
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["content_digest"] = "0" * 64
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(StoreError, match="content digest mismatch"):
+            load_dataset(directory)
+
+    def test_unsupported_schema_refused(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        manifest_path = directory / MANIFEST_FILE
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        payload["schema"] = "telemetry-store-v999"
+        manifest_path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(StoreError, match="unsupported schema"):
+            load_dataset(directory)
+
+    def test_unreadable_manifest_refused_even_leniently(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        (directory / MANIFEST_FILE).write_text("{broken", encoding="utf-8")
+        with pytest.raises(StoreError, match="unreadable manifest"):
+            load_dataset(directory, strict=False)
+
+    def test_missing_part_raises_file_not_found(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c", chunk_rows=2)
+        (directory / "events-00001.jsonl").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_dataset(directory)
+
+    def test_missing_table_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nowhere")
+
+    def test_checksum_verified_by_streaming_reader(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        text = part.read_text(encoding="utf-8")
+        part.write_text(text.replace("M0", "M9"), encoding="utf-8")
+        with pytest.raises(ValueError, match="checksum"):
+            list(iter_events(directory))
+
+
+class TestLenientFaults:
+    def test_truncation_quarantined_with_metrics(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        part.write_text("\n".join(lines[:-2]) + "\n", encoding="utf-8")
+        before = obs_metrics.counter("store.rows_quarantined").value
+        stats = ReadStats()
+        dataset = load_dataset(directory, strict=False, stats=stats)
+        assert len(dataset) == 3
+        assert stats.rows_quarantined == 2
+        assert stats.bytes_read > 0
+        assert obs_metrics.counter("store.rows_quarantined").value == before + 2
+        quarantine = (directory / QUARANTINE_FILE).read_text(encoding="utf-8")
+        record = json.loads(quarantine.splitlines()[0])
+        assert record["location"] == "events.jsonl"
+        assert record["rows_lost"] == 2
+
+    def test_bad_line_quarantined_rest_loaded(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "events.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        lines[2] = "not json at all"
+        part.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        stats = ReadStats()
+        # Editing the line also changes the part's bytes, so the read
+        # additionally reports (and warns about) a checksum mismatch.
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            dataset = load_dataset(directory, strict=False, stats=stats)
+        assert len(dataset) == 4
+        assert stats.rows_quarantined == 1
+        lines = (directory / QUARANTINE_FILE).read_text(
+            encoding="utf-8"
+        ).splitlines()
+        record = json.loads(lines[0])
+        assert record["location"] == "events.jsonl:3"
+        assert record["raw"].startswith("not json")
+
+    def test_duplicates_keep_first_and_warn(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        (directory / MANIFEST_FILE).unlink()
+        part = directory / "files.jsonl"
+        lines = part.read_text(encoding="utf-8").splitlines()
+        dup = json.loads(lines[0])
+        dup["file_name"] = "evil-twin.exe"
+        with open(part, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dup) + "\n")
+        stats = ReadStats()
+        with pytest.warns(RuntimeWarning, match="duplicate sha1"):
+            dataset = load_dataset(directory, strict=False, stats=stats)
+        assert stats.rows_duplicate == 1
+        # First occurrence wins -- never the silent last-wins of old.
+        assert dataset.files[F1].file_name == "a.exe"
+
+    def test_checksum_mismatch_counted_and_warned(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        part = directory / "files.jsonl"
+        text = part.read_text(encoding="utf-8")
+        part.write_text(text.replace("a.exe", "x.exe"), encoding="utf-8")
+        stats = ReadStats()
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            dataset = load_dataset(directory, strict=False, stats=stats)
+        assert stats.checksum_failures == 1
+        assert stats.rows_quarantined == 0
+        assert len(dataset) == 5  # rows were kept, mismatch only recorded
+
+    def test_orphan_events_quarantined(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c")
+        (directory / MANIFEST_FILE).unlink()
+        part = directory / "files.jsonl"
+        lines = [
+            line
+            for line in part.read_text(encoding="utf-8").splitlines()
+            if F2 not in line
+        ]
+        part.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        stats = ReadStats()
+        dataset = load_dataset(directory, strict=False, stats=stats)
+        assert stats.rows_quarantined == 2  # the two F2 events
+        assert set(dataset.files) == {F1}
+        assert all(event.file_sha1 == F1 for event in dataset.events)
+
+    def test_corrupt_gzip_part_skipped(self, tmp_path):
+        directory = save_dataset(
+            _dataset(), tmp_path / "c", compress=True, chunk_rows=2
+        )
+        part = directory / "events-00000.jsonl.gz"
+        blob = bytearray(part.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        part.write_bytes(bytes(blob))
+        stats = ReadStats()
+        dataset = load_dataset(directory, strict=False, stats=stats)
+        # The two rows of the damaged chunk are lost (quarantined as
+        # corrupt-part remainder and/or unparseable garbage lines); the
+        # other chunks and the metadata tables are unaffected.
+        assert stats.rows_quarantined >= 2
+        assert len(dataset) == 3
+        assert dataset.files
+
+    def test_missing_part_quarantined(self, tmp_path):
+        directory = save_dataset(_dataset(), tmp_path / "c", chunk_rows=2)
+        (directory / "events-00001.jsonl").unlink()
+        stats = ReadStats()
+        dataset = load_dataset(directory, strict=False, stats=stats)
+        assert stats.rows_quarantined == 2
+        assert len(dataset) == 3

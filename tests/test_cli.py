@@ -40,6 +40,45 @@ class TestGenerate:
         assert {entry["label"] for entry in labels} >= {"unknown", "malicious"}
 
 
+class TestExportImport:
+    def test_round_trip_verified(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["export", *SCALE, "--out", str(out), "--compress",
+                     "--chunk-rows", "500"]) == 0
+        export_output = capsys.readouterr().out
+        assert "content digest:" in export_output
+        assert (out / "manifest.json").exists()
+        assert main(["import", str(out)]) == 0
+        import_output = capsys.readouterr().out
+        assert "[OK vs manifest]" in import_output
+
+    def test_import_rejects_corruption(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["export", *SCALE, "--out", str(out)]) == 0
+        capsys.readouterr()
+        events = out / "events.jsonl"
+        lines = events.read_text(encoding="utf-8").splitlines()
+        events.write_text("\n".join(lines[:-5]) + "\n", encoding="utf-8")
+        assert main(["import", str(out)]) == 1
+        assert "import failed" in capsys.readouterr().err
+
+    def test_import_lenient_quarantines(self, tmp_path, capsys):
+        out = tmp_path / "store"
+        assert main(["export", *SCALE, "--out", str(out)]) == 0
+        capsys.readouterr()
+        events = out / "events.jsonl"
+        lines = events.read_text(encoding="utf-8").splitlines()
+        events.write_text("\n".join(lines[:-5]) + "\n", encoding="utf-8")
+        assert main(["import", str(out), "--lenient"]) == 0
+        output = capsys.readouterr().out
+        assert "quarantined rows: 5" in output
+        assert "[MISMATCH vs manifest]" in output
+
+    def test_import_missing_store_fails(self, tmp_path, capsys):
+        assert main(["import", str(tmp_path / "nowhere")]) == 1
+        assert "import failed" in capsys.readouterr().err
+
+
 class TestReport:
     def test_single_experiment(self, capsys):
         assert main(["report", *SCALE, "--experiment", "table2"]) == 0

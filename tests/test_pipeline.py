@@ -1,6 +1,14 @@
 """Tests for the one-call session pipeline."""
 
-from repro import Session, WorldConfig, build_session
+import pytest
+
+from repro import (
+    Session,
+    WorldConfig,
+    build_session,
+    export_session,
+    import_dataset,
+)
 from repro.labeling.whitelists import AlexaService
 
 
@@ -51,3 +59,42 @@ class TestBuildSession:
             == fresh.dataset.content_digest()
             == parallel.dataset.content_digest()
         )
+
+
+class TestExportImport:
+    def test_export_import_round_trip(self, small_session, tmp_path):
+        export_session(small_session, tmp_path / "store", compress=True,
+                       chunk_rows=2000)
+        imported = import_dataset(tmp_path / "store")
+        assert imported.content_digest() == (
+            small_session.dataset.content_digest()
+        )
+
+    def test_build_session_from_store(self, small_session, tmp_path):
+        export_session(small_session, tmp_path / "store")
+        # Prime the memo first: other tests may have cleared the global
+        # session cache, so identity vs small_session itself is not
+        # guaranteed here — only memo behaviour around the import is.
+        baseline = build_session(small_session.config)
+        session = build_session(
+            small_session.config, dataset_dir=tmp_path / "store"
+        )
+        assert session.dataset.content_digest() == (
+            small_session.dataset.content_digest()
+        )
+        assert session.labeled.label_counts() == (
+            small_session.labeled.label_counts()
+        )
+        # Imported sessions bypass the memo: the store's content is not
+        # part of the config digest, so caching them would be unsound.
+        assert session is not baseline
+        assert build_session(small_session.config) is baseline
+
+    def test_build_session_from_corrupt_store_fails(self, small_session,
+                                                    tmp_path):
+        export_session(small_session, tmp_path / "store")
+        events = tmp_path / "store" / "events.jsonl"
+        lines = events.read_text(encoding="utf-8").splitlines()
+        events.write_text("\n".join(lines[:-10]) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="events.jsonl"):
+            build_session(small_session.config, dataset_dir=tmp_path / "store")
