@@ -14,13 +14,11 @@ can track I/O throughput and compression ratios over time.
 
 from __future__ import annotations
 
-import json
 import time
 
-from repro.obs.manifest import build_manifest
 from repro.telemetry import store
 
-from .common import OUTPUT_DIR
+from .common import assert_floor, write_bench_result
 from .conftest import BENCH_SCALE
 
 #: Timing repetitions; best-of is reported (steady-state comparison).
@@ -96,18 +94,16 @@ def test_dataset_io_round_trip(session, tmp_path):
         "gzip_compression_ratio": plain_bytes / results["gzip"]["disk_bytes"],
         "layouts": results,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_dataset_io.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
-    manifest = build_manifest(
-        command="bench_dataset_io",
+    write_bench_result(
+        "dataset_io",
+        payload,
         config=session.config,
         wall_seconds=time.perf_counter() - start,
+        manifest=True,
     )
-    manifest.write(OUTPUT_DIR / "BENCH_dataset_io.manifest.json")
 
     # Sanity floor rather than a tight bar: even the slowest layout must
     # beat 5k rows/s, or something is pathologically wrong with I/O.
     slowest = min(r["save_rows_per_second"] for r in results.values())
-    assert slowest > 5_000, f"dataset-store writes too slow: {slowest:.0f} rows/s"
+    assert_floor("slowest-layout save throughput", slowest, 5_000,
+                 units=" rows/s")

@@ -25,14 +25,13 @@ bit-identical corpus.
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro import WorldConfig
 from repro.obs import trace
 from repro.synth import World
 
-from .common import OUTPUT_DIR
+from .common import assert_ceiling, write_bench_result
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 JOBS_LEVELS = (1, 2, 4)
@@ -74,19 +73,21 @@ def test_parallel_scaling():
     # Determinism: jobs is an execution knob, never a world knob.
     assert len(digests) == 1
 
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    payload = {
-        "scale": SCALE,
-        "shards": config.shards,
-        "cpu_count": os.cpu_count(),
-        "timing_source": "obs.trace spans (synth.generate_world)",
-        "seconds_by_jobs": {str(jobs): timings[jobs] for jobs in JOBS_LEVELS},
-        "stage_seconds_by_jobs": {
-            str(jobs): stages[jobs] for jobs in JOBS_LEVELS
+    write_bench_result(
+        "parallel",
+        {
+            "scale": SCALE,
+            "shards": config.shards,
+            "cpu_count": os.cpu_count(),
+            "timing_source": "obs.trace spans (synth.generate_world)",
+            "seconds_by_jobs": {
+                str(jobs): timings[jobs] for jobs in JOBS_LEVELS
+            },
+            "stage_seconds_by_jobs": {
+                str(jobs): stages[jobs] for jobs in JOBS_LEVELS
+            },
         },
-    }
-    (OUTPUT_DIR / "BENCH_parallel.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        config=config,
     )
 
     # Monotone non-regression (with overhead tolerance): adding workers
@@ -97,7 +98,8 @@ def test_parallel_scaling():
     if (os.cpu_count() or 1) >= 2:
         baseline = timings[1]
         for jobs in JOBS_LEVELS[1:]:
-            assert timings[jobs] <= baseline * MAX_OVERHEAD_FACTOR, (
-                f"jobs={jobs} took {timings[jobs]:.2f}s vs "
-                f"jobs=1 {baseline:.2f}s"
+            assert_ceiling(
+                f"jobs={jobs} generation wall-time", timings[jobs],
+                baseline * MAX_OVERHEAD_FACTOR, units="s",
+                detail=f"jobs=1 took {baseline:.2f}s",
             )

@@ -17,15 +17,13 @@ least 5x; smaller smoke scales only assert it is not slower.
 
 from __future__ import annotations
 
-import json
 import time
 
 from repro.core.classifier import ConflictPolicy, RuleBasedClassifier
 from repro.core.dataset import TrainingSet, unknown_vectors
 from repro.core.evaluation import learn_rules
-from repro.obs.manifest import build_manifest
 
-from .common import OUTPUT_DIR
+from .common import assert_floor, write_bench_result
 from .conftest import BENCH_SCALE
 
 #: Selection threshold used by the Table XVII experiments.
@@ -125,19 +123,16 @@ def test_rule_matching_speedup(session):
         "min_speedup_enforced": MIN_SPEEDUP,
         "repeats": REPEATS,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_rule_matching.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
-    manifest = build_manifest(
-        command="bench_rule_matching",
+    write_bench_result(
+        "rule_matching",
+        payload,
         config=session.config,
         wall_seconds=scalar_seconds + fast_seconds,
+        manifest=True,
     )
-    manifest.write(OUTPUT_DIR / "BENCH_rule_matching.manifest.json")
 
-    assert speedup >= MIN_SPEEDUP, (
-        f"columnar path {speedup:.1f}x vs scalar "
-        f"(scalar {scalar_seconds:.3f}s, fast {fast_seconds:.3f}s, "
-        f"required {MIN_SPEEDUP}x at scale {BENCH_SCALE})"
+    assert_floor(
+        "columnar-over-scalar speedup", speedup, MIN_SPEEDUP, units="x",
+        detail=f"scalar {scalar_seconds:.3f}s, fast {fast_seconds:.3f}s "
+               f"at scale {BENCH_SCALE}",
     )

@@ -12,7 +12,10 @@ Three generation variants are measured:
 Each variant runs with tracing enabled and attaches the per-stage wall
 times from the recorded spans to ``benchmark.extra_info``, so the
 BENCH_world.json record carries the same stage breakdown a ``--trace``
-run prints -- the two can never disagree.
+run prints -- the two can never disagree.  The same breakdown also
+lands in ``BENCH_world_stages.json`` (via
+:func:`benchmarks.common.write_bench_result`) so the record exists even
+without pytest-benchmark's ``--benchmark-json`` flag.
 """
 
 from repro import WorldConfig, build_session
@@ -20,6 +23,8 @@ from repro.obs import trace
 from repro.pipeline import clear_all_caches
 from repro.synth import World
 from repro.synth.cache import get_world
+
+from .common import write_bench_result
 
 #: Span names whose durations are recorded next to each benchmark.
 _STAGES = (
@@ -43,7 +48,12 @@ def _stage_seconds():
     }
 
 
-def _traced(benchmark, func):
+#: Stage timings accumulated across this module's benchmarks; rewritten
+#: to BENCH_world_stages.json after each one so partial runs still record.
+_STAGE_RECORD = {}
+
+
+def _traced(benchmark, variant, config, func):
     """Benchmark ``func`` with tracing on; record span stage timings."""
     trace.enable()
     try:
@@ -52,7 +62,19 @@ def _traced(benchmark, func):
             return func()
 
         result = benchmark(run)
-        benchmark.extra_info["stage_seconds"] = _stage_seconds()
+        stages = _stage_seconds()
+        benchmark.extra_info["stage_seconds"] = stages
+        _STAGE_RECORD[variant] = stages
+        write_bench_result(
+            "world_stages",
+            {
+                "scale": config.scale,
+                "seed": config.seed,
+                "timing_source": "obs.trace spans (last timed iteration)",
+                "stage_seconds_by_variant": dict(_STAGE_RECORD),
+            },
+            config=config,
+        )
     finally:
         trace.reset()
         trace.disable()
@@ -62,14 +84,16 @@ def _traced(benchmark, func):
 def test_world_generation(benchmark):
     """Cold sequential generation + collection (no cache)."""
     config = WorldConfig(seed=3, scale=0.002)
-    dataset = _traced(benchmark, lambda: World(config, jobs=1).collect())
+    dataset = _traced(benchmark, "cold", config,
+                      lambda: World(config, jobs=1).collect())
     assert len(dataset.events) > 1000
 
 
 def test_world_generation_parallel(benchmark):
     """Cold generation with the sharded process-pool path (jobs=4)."""
     config = WorldConfig(seed=3, scale=0.002)
-    dataset = _traced(benchmark, lambda: World(config, jobs=4).collect())
+    dataset = _traced(benchmark, "parallel", config,
+                      lambda: World(config, jobs=4).collect())
     assert len(dataset.events) > 1000
 
 
@@ -79,14 +103,14 @@ def test_world_generation_cached(benchmark):
     clear_all_caches()
     get_world(config)  # warm the session-level cache once
 
-    dataset = _traced(benchmark, lambda: get_world(config).collect())
+    dataset = _traced(benchmark, "cached", config,
+                      lambda: get_world(config).collect())
     assert len(dataset.events) > 1000
 
 
 def test_full_pipeline(benchmark):
     """Generation + collection + labeling, cache bypassed."""
     config = WorldConfig(seed=3, scale=0.002)
-    session = _traced(
-        benchmark, lambda: build_session(config, cache=False)
-    )
+    session = _traced(benchmark, "full_pipeline", config,
+                      lambda: build_session(config, cache=False))
     assert session.labeled.file_labels

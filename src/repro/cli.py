@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the common workflows::
+Twelve subcommands cover the common workflows::
 
     python -m repro.cli generate --scale 0.01 --out corpus/
     python -m repro.cli export   --scale 0.01 --out store/ --compress \
@@ -13,6 +13,8 @@ Ten subcommands cover the common workflows::
     python -m repro.cli stats    --scale 0.01
     python -m repro.cli validate --scale 0.02 --seeds 3 \
         --report-out fidelity_report.json
+    python -m repro.cli profile  run --scale 0.01
+    python -m repro.cli bench    --check --quick
 
 ``generate`` exports the telemetry corpus (and its ground truth) as
 JSONL; ``export`` writes the corpus as a versioned, checksummed dataset
@@ -28,12 +30,20 @@ tree and metrics snapshot for a run; ``validate`` is the statistical
 fidelity gate (:mod:`repro.validation`) -- it sweeps worlds across
 seeds, tests every calibration target, prints the verdict table,
 optionally writes the machine-readable report, and exits non-zero when
-the gate fails.
+the gate fails; ``profile`` wraps any other subcommand in the sampling
+profiler (:mod:`repro.obs.profile`); ``bench`` runs the registered
+perf benches, appends to the BENCH trajectory and -- with ``--check``
+-- gates the run against the trajectory median
+(:mod:`repro.obs.regress`).
 
 Every world-building subcommand accepts ``--trace`` (print the span
-tree after the run) and ``--metrics-out PATH`` (write the metrics
-snapshot -- JSON, or Prometheus text for ``.prom``/``.txt`` paths --
-plus a ``<stem>.manifest.json`` run manifest alongside it).
+tree after the run), ``--resources`` (per-span RSS/CPU/GC attributes
+plus ``proc.*`` metrics, see :mod:`repro.obs.resources`) and
+``--metrics-out PATH`` (write the metrics snapshot -- JSON, or
+Prometheus text for ``.prom``/``.txt`` paths -- plus a
+``<stem>.manifest.json`` run manifest alongside it); ``run``,
+``evaluate`` and ``validate`` additionally accept ``--profile-out PATH``
+(collapsed flamegraph stacks to PATH, top-N self-time table to stderr).
 """
 
 from __future__ import annotations
@@ -49,6 +59,8 @@ from . import reporting
 from .core.evaluation import full_evaluation, learn_rules
 from .obs import manifest as obs_manifest
 from .obs import metrics as obs_metrics
+from .obs import profile as obs_profile
+from .obs import resources as obs_resources
 from .obs import trace as obs_trace
 from .pipeline import Session, build_session, export_session
 from .synth.world import WorldConfig
@@ -103,10 +115,24 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", action="store_true",
                         help="record tracing spans and print the span tree "
                              "after the run")
+    parser.add_argument("--resources", action="store_true",
+                        help="account RSS/CPU/GC per span (attributes on "
+                             "every traced span, plus proc.* metrics)")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write the metrics snapshot here (JSON, or "
                              "Prometheus text for .prom/.txt paths) plus a "
                              "<stem>.manifest.json run manifest alongside")
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile-out", metavar="PATH",
+                        help="sample the run and write collapsed "
+                             "(flamegraph-ready) stacks here; the top "
+                             "self-time table goes to stderr")
+    parser.add_argument("--profile-hz", type=int,
+                        default=obs_profile.DEFAULT_HZ, metavar="HZ",
+                        help=f"profiler sampling rate (default "
+                             f"{obs_profile.DEFAULT_HZ})")
 
 
 def _world_config(args: argparse.Namespace) -> Optional[WorldConfig]:
@@ -418,6 +444,79 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Wrap any other subcommand in the sampling profiler."""
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("profile: missing command to profile, e.g. "
+              "`repro profile run --scale 0.01`", file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("profile: cannot profile the profiler", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    inner.profile_out = getattr(inner, "profile_out", None) or args.out
+    inner.profile_hz = args.hz
+    inner.profile_force = True
+    return _dispatch(inner)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered benches; record the trajectory; gate with --check."""
+    from .obs import regress
+
+    try:
+        tolerances = regress.parse_tolerances(args.tolerance or [])
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    names = args.bench or sorted(regress.BENCHES)
+    trajectory = Path(args.trajectory)
+    history = regress.load_trajectory(trajectory)
+    try:
+        results = regress.run_benches(names, scale=args.scale,
+                                      quick=args.quick)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    entries = [regress.entry_from_result(result) for result in results]
+    print(f"{'bench':<20s} {'wall_s':>9s} {'peak_rss_kb':>12s} "
+          f"{'throughput':>14s}")
+    for result in results:
+        throughput = (
+            f"{result.throughput:,.0f} {result.throughput_units}"
+            if result.throughput else "-"
+        )
+        print(f"{result.name:<20s} {result.wall_seconds:9.3f} "
+              f"{result.peak_rss_kb:12,.0f} {throughput:>14s}")
+    violations = []
+    if args.check:
+        for entry in entries:
+            violations.extend(
+                regress.check_entry(history, entry, tolerances)
+            )
+    if not args.no_append:
+        regress.append_entries(trajectory, entries)
+        print(f"appended {len(entries)} entries to {trajectory} "
+              f"({len(history) + len(entries)} total)", file=sys.stderr)
+    if violations:
+        print("\nregression gate: FAIL", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation.render()}", file=sys.stderr)
+        return 1
+    if args.check:
+        matched = sum(
+            1 for entry in entries
+            if any(regress.match_key(e) == regress.match_key(entry)
+                   for e in history)
+        )
+        print(f"regression gate: OK ({matched}/{len(entries)} benches had "
+              f"trajectory history to compare against)", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -514,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--tau", type=float, nargs="*", default=[0.0, 0.001],
                           help="error thresholds (default: 0.0 0.001)")
     evaluate.add_argument("--out", help="optional output directory")
+    _add_profile_arguments(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
     run = commands.add_parser(
@@ -526,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="0-based training month (default 0 = January)")
     run.add_argument("--tau", type=float, default=0.001,
                      help="max rule training error rate (default 0.001)")
+    _add_profile_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     validate = commands.add_parser(
@@ -547,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--quantile", type=float, default=0.5,
                           help="sweep aggregation quantile (default 0.5 = "
                                "median across seeds)")
+    _add_profile_arguments(validate)
     validate.set_defaults(func=_cmd_validate)
 
     stats = commands.add_parser(
@@ -558,21 +660,83 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--train-month", type=int, default=0,
                        help="0-based training month (default 0 = January)")
     stats.set_defaults(func=_cmd_stats, trace=True)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run another subcommand under the sampling profiler",
+    )
+    profile.add_argument("--hz", type=int, default=obs_profile.DEFAULT_HZ,
+                         help=f"sampling rate (default "
+                              f"{obs_profile.DEFAULT_HZ})")
+    profile.add_argument("--out", metavar="PATH",
+                         help="write collapsed (flamegraph-ready) stacks "
+                              "here; without it only the top table prints")
+    profile.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="the subcommand (and its arguments) to "
+                              "profile, e.g. `run --scale 0.01`")
+    profile.set_defaults(func=_cmd_profile)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the registered perf benches, append to the BENCH "
+             "trajectory and (with --check) gate against its median",
+    )
+    bench.add_argument("--bench", nargs="*", metavar="NAME",
+                       help="benches to run (default: all registered)")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="corpus scale for the benches (default 0.01, "
+                            "or 0.002 with --quick)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized run at scale 0.002")
+    bench.add_argument("--check", action="store_true",
+                       help="gate this run against the trajectory median; "
+                            "exit 1 on any violation")
+    bench.add_argument("--trajectory", metavar="PATH",
+                       default="benchmarks/output/BENCH_trajectory.json",
+                       help="trajectory file (default "
+                            "benchmarks/output/BENCH_trajectory.json)")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure (and gate) without recording this "
+                            "run in the trajectory")
+    bench.add_argument("--tolerance", action="append", metavar="METRIC=FRAC",
+                       help="per-metric gate tolerance override, e.g. "
+                            "wall_seconds=0.35 (repeatable)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one parsed command under its observability switches."""
     tracing = getattr(args, "trace", False)
+    track_resources = getattr(args, "resources", False)
     if tracing:
         # Fresh tree per invocation: embedding callers (tests) may run
         # several commands in one process.
         obs_trace.reset()
         obs_trace.enable()
+    if track_resources:
+        obs_resources.enable()
+    profile_out = getattr(args, "profile_out", None)
+    profiler: Optional[obs_profile.SamplingProfiler] = None
+    if profile_out or getattr(args, "profile_force", False):
+        profiler = obs_profile.SamplingProfiler(
+            hz=getattr(args, "profile_hz", obs_profile.DEFAULT_HZ)
+        )
+        profiler.start()
     start = time.perf_counter()
     try:
         status = args.func(args)
+        if profiler is not None:
+            profiler.stop()
+            if profile_out:
+                path = profiler.write_collapsed(Path(profile_out))
+                print(
+                    f"wrote {profiler.sample_count} profile samples "
+                    f"(collapsed stacks) to {path}",
+                    file=sys.stderr,
+                )
+            print("\n# profile (top self-time)", file=sys.stderr)
+            print(profiler.render_top(), file=sys.stderr)
         # Status 1 is a *verdict* (the validate gate failing), not a
         # usage error: its metrics and manifest still matter, e.g. for
         # CI archiving the artifacts of a failed fidelity run.
@@ -581,9 +745,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args, wall_seconds=time.perf_counter() - start
             )
     finally:
+        if profiler is not None:
+            profiler.stop()
+        if track_resources:
+            obs_resources.disable()
         if tracing:
             obs_trace.disable()
     return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    return _dispatch(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from ..labeling.ground_truth import LabeledDataset
 from ..labeling.whitelists import AlexaService
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs import worker as obs_worker
 from ..telemetry.events import MONTH_NAMES, NUM_MONTHS
 from .classifier import (
     ConflictPolicy,
@@ -162,12 +163,33 @@ def evaluate_month_pair(
     taus: Sequence[float] = DEFAULT_TAUS,
     policy: ConflictPolicy = ConflictPolicy.REJECT,
 ) -> List[MonthlyEvaluation]:
-    """Run the Section VI-D experiment for one consecutive month pair."""
+    """Run the Section VI-D experiment for one consecutive month pair.
+
+    The ``core.evaluate_month_pair`` span lives here so sequential runs
+    and pool workers produce the same tree shape; worker-recorded spans
+    come home via :mod:`repro.obs.worker`.
+    """
     test_month = train_month + 1
     if test_month >= NUM_MONTHS:
         raise ValueError(
             f"train month {train_month} has no following test month"
         )
+    with trace.span(
+        "core.evaluate_month_pair",
+        train_month=MONTH_NAMES[train_month],
+        test_month=MONTH_NAMES[test_month],
+    ):
+        return _evaluate_month_pair(labeled, alexa, train_month, taus, policy)
+
+
+def _evaluate_month_pair(
+    labeled: LabeledDataset,
+    alexa: AlexaService,
+    train_month: int,
+    taus: Sequence[float],
+    policy: ConflictPolicy,
+) -> List[MonthlyEvaluation]:
+    test_month = train_month + 1
     ruleset, training = learn_rules(labeled, alexa, train_month)
     train_shas = {
         instance.sha1 for instance in training.instances if instance.sha1
@@ -348,7 +370,9 @@ def full_evaluation(
     :mod:`repro.synth.engine`.  Runs are returned in month order
     whatever ``jobs`` is, and the rows are identical to a sequential
     run (guarded by tests); spans and counters recorded inside workers
-    stay in those processes.
+    ship home as :class:`repro.obs.worker.ObsPayload` envelopes and
+    merge under the fan-out span, so ``--trace`` and the metrics
+    snapshot cover the whole fan-out.
     """
     months = (
         list(train_months) if train_months is not None
@@ -362,16 +386,18 @@ def full_evaluation(
     runs: List[MonthlyEvaluation] = []
     with trace.span(
         "core.full_evaluation", months=len(months), jobs=workers
-    ):
+    ) as fan:
         if workers <= 1 or len(months) <= 1:
             for month in months:
                 runs.extend(
                     evaluate_month_pair(labeled, alexa, month, taus, policy)
                 )
         else:
-            for result in _evaluate_months_parallel(
+            results, payloads = _evaluate_months_parallel(
                 labeled, alexa, months, taus, policy, workers
-            ):
+            )
+            obs_worker.absorb(payloads, parent_span=fan)
+            for result in results:
                 runs.extend(result)
     return FullEvaluation(runs=runs)
 
@@ -383,13 +409,17 @@ def _evaluate_months_parallel(
     taus: Sequence[float],
     policy: ConflictPolicy,
     workers: int,
-) -> List[List[MonthlyEvaluation]]:
+) -> Tuple[List[List[MonthlyEvaluation]], List["obs_worker.ObsPayload"]]:
     """Fan month pairs over a process pool; fall back to sequential.
 
-    Any :class:`OSError` while setting up multiprocessing (no /dev/shm,
+    Returns ``(results, payloads)``: one :class:`obs_worker.ObsPayload`
+    per month pair carrying the worker's spans and counters.  Any
+    :class:`OSError` while setting up multiprocessing (no /dev/shm,
     seccomp'd clone, ...) degrades to the in-process path, which
-    produces identical results by construction.
+    produces identical results by construction -- and no payloads,
+    since that path records straight into the parent's obs.
     """
+    obs = obs_worker.current_config()
     mp_context = None
     if "fork" in multiprocessing.get_all_start_methods():
         mp_context = multiprocessing.get_context("fork")
@@ -399,21 +429,24 @@ def _evaluate_months_parallel(
         ) as pool:
             futures = [
                 pool.submit(
-                    _month_pair_worker, labeled, alexa, month, taus, policy
+                    obs_worker.run_task, obs, month, _month_pair_worker,
+                    labeled, alexa, month, taus, policy,
                 )
                 for month in months
             ]
-            results = [future.result() for future in futures]
+            pairs = [future.result() for future in futures]
     except (OSError, PermissionError):
         return [
             evaluate_month_pair(labeled, alexa, month, taus, policy)
             for month in months
-        ]
+        ], []
     obs_metrics.counter(
         "eval.month_pairs_parallel",
         "Month-pair experiments evaluated via the process pool",
     ).inc(len(months))
-    return results
+    return [result for result, _ in pairs], [
+        payload for _, payload in pairs
+    ]
 
 
 def validate_against_latent(

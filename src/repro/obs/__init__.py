@@ -1,12 +1,24 @@
-"""Pipeline observability: tracing spans, metrics, run manifests.
+"""Pipeline observability: spans, metrics, resources, profiling, gates.
 
-Three small, dependency-free building blocks:
+Dependency-free building blocks, all stdlib + ``/proc``:
 
 * :mod:`repro.obs.trace` -- hierarchical wall-time spans (context
   manager + decorator API, thread-safe, no-op when disabled) with JSON
-  and pretty-tree exporters;
+  and pretty-tree exporters, plus :func:`repro.obs.trace.merge_remote`
+  to graft span trees recorded in worker processes;
 * :mod:`repro.obs.metrics` -- a process-wide registry of counters,
-  gauges and histograms, exportable as JSON or Prometheus text;
+  gauges and histograms, exportable as JSON or Prometheus text, with
+  :func:`repro.obs.metrics.merge_remote` to fold in worker snapshots;
+* :mod:`repro.obs.worker` -- the cross-process envelope
+  (:class:`~repro.obs.worker.ObsPayload`) every pool task returns so
+  the parent's ``--trace`` tree and counters cover the whole fan-out;
+* :mod:`repro.obs.resources` -- opt-in per-span RSS/CPU/GC accounting
+  read from ``/proc/self`` and ``getrusage`` (``--resources``);
+* :mod:`repro.obs.profile` -- a sampling profiler with collapsed-stack
+  (flamegraph-ready) and top-N exporters (``--profile-out``,
+  ``repro profile``);
+* :mod:`repro.obs.regress` -- the bench trajectory + perf-regression
+  gate behind ``repro bench --check``;
 * :mod:`repro.obs.manifest` -- the provenance record (config digest,
   git revision, wall time, metrics, spans) written alongside exports.
 
@@ -15,17 +27,23 @@ learning, classification) reports through these; enable tracing with
 ``repro.obs.trace.enable()`` or the ``--trace`` CLI flag.  Metrics are
 always collected -- instrument updates are cheap -- and instrumentation
 never touches RNG state, so observability cannot change a generated
-world (see ``tests/obs/test_instrumentation.py``).
+world (see ``tests/obs/test_instrumentation.py``).  The full story is
+in ``docs/observability.md``.
 """
 
-from . import manifest, metrics, trace
+from . import manifest, metrics, profile, regress, resources, trace, worker
 from .manifest import RunManifest, build_manifest, load_manifest
 from .metrics import MetricsRegistry, get_registry
+from .profile import SamplingProfiler
 from .trace import Span, Tracer, get_tracer
+from .worker import ObsConfig, ObsPayload
 
 __all__ = [
     "MetricsRegistry",
+    "ObsConfig",
+    "ObsPayload",
     "RunManifest",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "build_manifest",
@@ -34,5 +52,9 @@ __all__ = [
     "load_manifest",
     "manifest",
     "metrics",
+    "profile",
+    "regress",
+    "resources",
     "trace",
+    "worker",
 ]

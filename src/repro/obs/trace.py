@@ -25,6 +25,14 @@ Usage::
 Exporters: :func:`to_dicts` (JSON-ready span trees) and
 :func:`render_tree` (pretty indented tree with durations and
 attributes).  :func:`reset` drops recorded spans between runs.
+
+Cross-process runs (the generation and evaluation pools) ship their
+finished span trees back to the parent as :meth:`Span.to_dict` payloads;
+:func:`merge_remote` rebuilds them and grafts them under the parent's
+fan-out span, tagged with the worker that produced them (see
+:mod:`repro.obs.worker`).  With :mod:`repro.obs.resources` enabled,
+every recorded span additionally carries resource attributes (RSS
+delta, peak RSS, CPU time, GC pauses) sampled at span entry and exit.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from . import resources as _resources
+
 __all__ = [
     "Span",
     "Tracer",
@@ -44,6 +54,7 @@ __all__ = [
     "enabled",
     "finished_spans",
     "get_tracer",
+    "merge_remote",
     "render_tree",
     "reset",
     "span",
@@ -89,6 +100,26 @@ class Span:
         for child in self.children:
             yield from child.iter()
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        Absolute monotonic timestamps are meaningless across processes,
+        so the rebuilt span keeps only the recorded duration
+        (``start=0``, ``end=duration``).
+        """
+        span = cls(
+            name=payload["name"],
+            attributes=dict(payload.get("attributes") or {}),
+            start=0.0,
+            end=float(payload.get("duration") or 0.0),
+            error=payload.get("error"),
+        )
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children") or ()
+        ]
+        return span
+
 
 class _NoopSpan:
     """Shared do-nothing span handed out while tracing is disabled."""
@@ -111,19 +142,24 @@ _NOOP = _NoopSpan()
 class _SpanHandle:
     """Context manager binding one live :class:`Span` to a tracer."""
 
-    __slots__ = ("_tracer", "span")
+    __slots__ = ("_tracer", "span", "_resources")
 
     def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self.span = span
+        self._resources = None
 
     def __enter__(self) -> Span:
         self._tracer._push(self.span)
+        if _resources.enabled():
+            self._resources = _resources.begin_span()
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self.span.error = exc_type.__name__
+        if self._resources is not None:
+            _resources.finish_span(self._resources, self.span)
         self.span.end = time.monotonic()
         self._tracer._pop(self.span)
         return False
@@ -143,6 +179,12 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._finished: List[Span] = []
+        # Every thread's open-span stack, keyed by thread ident, so
+        # reset() can clear stacks it does not own (the thread-local
+        # alone is only reachable from its own thread).  Entries for
+        # dead threads are pruned on reset; a recycled ident is simply
+        # re-bound on that thread's first push.
+        self._stacks: Dict[int, List[Span]] = {}
 
     # ------------------------------------------------------------------
     # Switches
@@ -162,10 +204,20 @@ class Tracer:
         return self._enabled
 
     def reset(self) -> None:
-        """Drop all finished spans and any dangling open stack."""
+        """Drop all finished spans and every thread's dangling open stack.
+
+        Stacks are cleared *in place* so the thread-local reference each
+        thread still holds sees the cleared list: a span left open by
+        another thread can no longer graft stale parents onto the next
+        run's spans.
+        """
+        alive = {thread.ident for thread in threading.enumerate()}
         with self._lock:
             self._finished = []
-        self._local.stack = []
+            for ident, stack in list(self._stacks.items()):
+                del stack[:]
+                if ident not in alive:
+                    del self._stacks[ident]
 
     # ------------------------------------------------------------------
     # Span creation
@@ -219,6 +271,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._stacks[threading.get_ident()] = stack
         if stack:
             stack[-1].children.append(span)
         stack.append(span)
@@ -230,6 +284,41 @@ class Tracer:
         if not stack:
             with self._lock:
                 self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Cross-process merge
+    # ------------------------------------------------------------------
+
+    def merge_remote(
+        self,
+        spans: List[Dict[str, Any]],
+        parent: Optional[Span] = None,
+        worker: Optional[Any] = None,
+    ) -> List[Span]:
+        """Graft span trees recorded in another process into this tracer.
+
+        ``spans`` is a list of :meth:`Span.to_dict` payloads (what
+        :class:`repro.obs.worker.ObsPayload` carries home).  Each tree is
+        rebuilt, tagged ``worker=<worker>`` on its root (unless the root
+        already carries a ``worker`` attribute), and attached as a child
+        of ``parent`` -- typically the fan-out span that submitted the
+        work.  Without a parent the trees land as finished roots.  No-op
+        while the tracer is disabled.  Returns the grafted roots.
+        """
+        if not self._enabled or not spans:
+            return []
+        grafted: List[Span] = []
+        for payload in spans:
+            root = Span.from_dict(payload)
+            if worker is not None:
+                root.attributes.setdefault("worker", worker)
+            grafted.append(root)
+        if isinstance(parent, Span):
+            parent.children.extend(grafted)
+        else:
+            with self._lock:
+                self._finished.extend(grafted)
+        return grafted
 
     # ------------------------------------------------------------------
     # Export
@@ -322,6 +411,15 @@ def enabled() -> bool:
 def reset() -> None:
     """Drop everything the default tracer has recorded."""
     _TRACER.reset()
+
+
+def merge_remote(
+    spans: List[Dict[str, Any]],
+    parent: Optional[Span] = None,
+    worker: Optional[Any] = None,
+) -> List[Span]:
+    """Graft remote span trees into the default tracer."""
+    return _TRACER.merge_remote(spans, parent=parent, worker=worker)
 
 
 def finished_spans() -> List[Span]:

@@ -1,0 +1,127 @@
+"""Cross-process observability: ship worker spans/metrics to the parent.
+
+A :class:`ProcessPoolExecutor` task normally takes its telemetry to the
+grave: spans recorded inside the worker stay in that process's tracer,
+counters bump that process's registry, and the parent's ``--trace`` tree
+shows only an opaque fan-out span.  This module closes the gap with one
+round-trip-friendly envelope:
+
+* the parent captures its observability switches once
+  (:func:`current_config`) and submits every task through
+  :func:`run_task`, a picklable harness that runs the real task function
+  under a *fresh* tracer/registry slate inside the worker;
+* the worker returns ``(result, ObsPayload)`` where the payload carries
+  its finished span trees (as dicts) and its metrics snapshot;
+* the parent calls :func:`absorb` on the collected payloads, grafting
+  each worker's span trees under the fan-out span (roots tagged
+  ``worker=N``) via :func:`repro.obs.trace.merge_remote` and folding the
+  metrics in via :func:`repro.obs.metrics.merge_remote` (counters and
+  histograms sum, gauges take the max).
+
+The fresh slate inside :func:`run_task` matters on ``fork`` platforms:
+a forked worker inherits the parent's recorded spans, open-span stacks
+and counter values, all of which would otherwise be double-counted when
+the payload comes home.  Resetting at task entry means the payload holds
+exactly what *this task* did -- which is what makes the invariant hold
+that a ``--jobs N`` run's merged counters equal a ``--jobs 1`` run's
+(guarded by ``tests/obs/test_worker.py``).
+
+Both fan-out sites -- sharded world generation
+(:mod:`repro.synth.engine`) and parallel month-pair evaluation
+(:mod:`repro.core.evaluation`) -- route through this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from . import metrics, resources, trace
+
+__all__ = ["ObsConfig", "ObsPayload", "absorb", "current_config", "run_task"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsConfig:
+    """The parent's observability switches, shipped to every worker."""
+
+    trace: bool = False
+    resources: bool = False
+
+
+@dataclasses.dataclass
+class ObsPayload:
+    """What one worker task recorded: span trees + metrics snapshot."""
+
+    worker: Optional[Any]
+    spans: List[Dict[str, Any]]
+    metrics: Dict[str, Dict[str, Any]]
+
+
+def current_config() -> ObsConfig:
+    """Capture this process's switches to forward to pool workers."""
+    return ObsConfig(
+        trace=trace.enabled(),
+        resources=resources.enabled(),
+    )
+
+
+def run_task(
+    config: ObsConfig,
+    worker: Optional[Any],
+    func: Callable[..., Any],
+    /,
+    *args: Any,
+) -> Tuple[Any, ObsPayload]:
+    """Worker-side harness: run ``func(*args)`` and capture what it did.
+
+    Resets the worker's tracer and registry (dropping anything inherited
+    across ``fork``), applies the parent's switches, runs the task, and
+    returns ``(result, payload)``.  Must be submitted with picklable
+    ``func``/``args`` (module-level functions).  ``worker`` is an opaque
+    tag -- the shard or month index at the two built-in call sites --
+    that :func:`absorb` stamps on the grafted span roots.
+    """
+    tracer = trace.get_tracer()
+    registry = metrics.get_registry()
+    tracer.reset()
+    registry.reset()
+    if config.trace:
+        tracer.enable()
+    else:
+        tracer.disable()
+    if config.resources:
+        resources.enable()
+    else:
+        resources.disable()
+    result = func(*args)
+    payload = ObsPayload(
+        worker=worker,
+        spans=tracer.to_dicts() if config.trace else [],
+        metrics=registry.snapshot(),
+    )
+    return result, payload
+
+
+def absorb(
+    payloads: Iterable[Optional[ObsPayload]],
+    parent_span: Optional[Any] = None,
+) -> None:
+    """Parent-side merge: fold worker payloads into this process's obs.
+
+    Span trees graft under ``parent_span`` (pass the live fan-out span;
+    a no-op/disabled span is tolerated and simply yields finished
+    roots), tagged with each payload's worker id.  Metrics always merge
+    -- the registry is always-on, tracing optional.
+    """
+    tracer = trace.get_tracer()
+    registry = metrics.get_registry()
+    parent = parent_span if isinstance(parent_span, trace.Span) else None
+    for payload in payloads:
+        if payload is None:
+            continue
+        if payload.spans:
+            tracer.merge_remote(
+                payload.spans, parent=parent, worker=payload.worker
+            )
+        registry.merge_remote(payload.metrics)

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs import worker as obs_worker
 from ..telemetry.collector import merge_sorted_streams
 from ..telemetry.events import DownloadEvent
 from .behavior import MachineFactory, ProcessEcosystem
@@ -150,35 +151,50 @@ def _shard_seed(config: "WorldConfig", shard_index: int) -> np.random.SeedSequen
 def simulate_shard(
     context: WorldContext, config: "WorldConfig", shard_index: int
 ) -> ShardResult:
-    """Run one shard's simulation against the shared context."""
+    """Run one shard's simulation against the shared context.
+
+    The ``synth.shard`` span lives *here* -- not at the call sites -- so
+    sequential runs, pool workers and the degraded fallback all produce
+    the same tree shape; worker-recorded shard spans come home via
+    :mod:`repro.obs.worker` and graft under the fan-out span.
+    """
     if not 0 <= shard_index < config.shards:
         raise ValueError(
             f"shard_index {shard_index} outside [0, {config.shards})"
         )
-    start, stop = plan_shards(len(context.machines), config.shards)[shard_index]
-    machines = context.machines[start:stop]
-    sim_seed, name_seed, file_seed = _shard_seed(config, shard_index).spawn(3)
-    names = NameFactory(
-        np.random.default_rng(name_seed),
-        counter_start=(shard_index + 1) * _SHARD_COUNTER_STRIDE,
-    )
-    factory = FileFactory(
-        np.random.default_rng(file_seed),
-        names,
-        context.signers,
-        context.packers,
-        context.families,
-    )
-    pool = FilePool(factory)
-    simulator = Simulator(
-        np.random.default_rng(sim_seed),
-        machines,
-        context.processes,
-        context.domains,
-        pool,
-        unknown_latent_malicious=config.unknown_latent_malicious_fraction,
-    )
-    shard_corpus = simulator.run()
+    with trace.span("synth.shard", shard=shard_index) as span:
+        start, stop = plan_shards(
+            len(context.machines), config.shards
+        )[shard_index]
+        machines = context.machines[start:stop]
+        sim_seed, name_seed, file_seed = (
+            _shard_seed(config, shard_index).spawn(3)
+        )
+        names = NameFactory(
+            np.random.default_rng(name_seed),
+            counter_start=(shard_index + 1) * _SHARD_COUNTER_STRIDE,
+        )
+        factory = FileFactory(
+            np.random.default_rng(file_seed),
+            names,
+            context.signers,
+            context.packers,
+            context.families,
+        )
+        pool = FilePool(factory)
+        simulator = Simulator(
+            np.random.default_rng(sim_seed),
+            machines,
+            context.processes,
+            context.domains,
+            pool,
+            unknown_latent_malicious=config.unknown_latent_malicious_fraction,
+        )
+        shard_corpus = simulator.run()
+        span.set_attribute("events", len(shard_corpus.events))
+        obs_metrics.counter(
+            "world.shard_events", "Events generated inside shards"
+        ).inc(len(shard_corpus.events))
     return ShardResult(
         shard_index=shard_index,
         events=shard_corpus.events,
@@ -288,20 +304,20 @@ def generate_world(
             _CONTEXT_CACHE[key] = context
         try:
             if workers <= 1:
-                results = []
-                for index in range(config.shards):
-                    with trace.span("synth.shard", shard=index) as shard_span:
-                        result = simulate_shard(context, config, index)
-                        shard_span.set_attribute("events", len(result.events))
-                    results.append(result)
+                results = [
+                    simulate_shard(context, config, index)
+                    for index in range(config.shards)
+                ]
             else:
-                # Per-shard spans live in the worker processes and are
-                # not collected; the fan-out span records the wall time
-                # the parent actually waits.
+                # Workers record their own shard spans and counters;
+                # the ObsPayloads they return are grafted under this
+                # fan-out span (roots tagged worker=N) so --trace shows
+                # one complete tree and summed counters match jobs=1.
                 with trace.span(
                     "synth.simulate_shards", workers=workers
-                ):
-                    results = _run_parallel(config, workers)
+                ) as fan:
+                    results, payloads = _run_parallel(config, workers)
+                    obs_worker.absorb(payloads, parent_span=fan)
         finally:
             # The memo exists to hand workers a pre-built context (via fork)
             # and to dedupe rebuilds inside one worker process; the parent
@@ -323,13 +339,19 @@ def generate_world(
     return context, corpus
 
 
-def _run_parallel(config: "WorldConfig", workers: int) -> List[ShardResult]:
+def _run_parallel(
+    config: "WorldConfig", workers: int
+) -> Tuple[List[ShardResult], List["obs_worker.ObsPayload"]]:
     """Fan shards out over a process pool; fall back to sequential.
 
-    Any :class:`OSError` while setting up multiprocessing (no /dev/shm,
-    seccomp'd clone, ...) degrades to the in-process path, which produces
-    the identical corpus.
+    Returns ``(results, payloads)``: one :class:`obs_worker.ObsPayload`
+    per pool task carrying the worker's spans and counters.  Any
+    :class:`OSError` while setting up multiprocessing (no /dev/shm,
+    seccomp'd clone, ...) degrades to the in-process path, which
+    produces the identical corpus -- and no payloads, because the
+    in-process run records straight into the parent's tracer/registry.
     """
+    obs = obs_worker.current_config()
     mp_context = None
     if "fork" in multiprocessing.get_all_start_methods():
         mp_context = multiprocessing.get_context("fork")
@@ -338,13 +360,19 @@ def _run_parallel(config: "WorldConfig", workers: int) -> List[ShardResult]:
             max_workers=workers, mp_context=mp_context
         ) as pool:
             futures = [
-                pool.submit(_shard_worker, config, index)
+                pool.submit(
+                    obs_worker.run_task, obs, index, _shard_worker,
+                    config, index,
+                )
                 for index in range(config.shards)
             ]
-            return [future.result() for future in futures]
+            pairs = [future.result() for future in futures]
+        return [result for result, _ in pairs], [
+            payload for _, payload in pairs
+        ]
     except (OSError, PermissionError):
         context = _worker_context(config)
         return [
             simulate_shard(context, config, index)
             for index in range(config.shards)
-        ]
+        ], []

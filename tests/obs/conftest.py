@@ -9,15 +9,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, resources, trace
 
 
 @pytest.fixture(autouse=True)
 def _clean_observability():
     trace.reset()
     trace.disable()
+    resources.disable()
     metrics.get_registry().reset()
     yield
     trace.reset()
     trace.disable()
+    resources.disable()
     metrics.get_registry().reset()

@@ -124,6 +124,105 @@ class TestExport:
         registry.gauge("world.events/sec").set(10)
         assert "world_events_sec 10.0" in registry.to_prometheus()
 
+    def test_prometheus_inf_bucket_counts_over_bound_values(self):
+        # The +Inf bucket is synthesized from the total count, so values
+        # above every explicit bound must still land there.
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 5000.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        assert 'latency_bucket{le="1.0"} 1' in text
+        assert 'latency_bucket{le="10.0"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 3' in text
+
+    def test_prometheus_zero_observation_histogram(self):
+        # A registered-but-never-observed histogram must still export a
+        # complete, scrape-valid series (all zeros), not crash on the
+        # None min/max.
+        registry = MetricsRegistry()
+        registry.histogram("latency", buckets=(1.0,))
+        text = registry.to_prometheus()
+        assert 'latency_bucket{le="1.0"} 0' in text
+        assert 'latency_bucket{le="+Inf"} 0' in text
+        assert "latency_sum 0.0" in text
+        assert "latency_count 0" in text
+
+    def test_prometheus_sanitizes_leading_digit(self):
+        registry = MetricsRegistry()
+        registry.counter("3rd.party.calls").inc()
+        assert "_3rd_party_calls_total 1.0" in registry.to_prometheus()
+
+    def test_prometheus_empty_registry_is_empty_string(self):
+        # An empty exposition must be truly empty -- "\n" makes file
+        # collectors ingest a blank malformed line.
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_prometheus_no_help_line_without_description(self):
+        registry = MetricsRegistry()
+        registry.counter("bare").inc()
+        text = registry.to_prometheus()
+        assert "# HELP" not in text
+        assert "# TYPE bare_total counter" in text
+        assert text.endswith("\n")
+
+
+class TestMergeRemote:
+    def _snapshot(self, registry):
+        return registry.snapshot()
+
+    def test_counters_sum(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        local.counter("hits").inc(10)
+        remote.counter("hits").inc(7)
+        remote.counter("remote.only").inc(2)
+        local.merge_remote(remote.snapshot())
+        assert local.counter("hits").value == 17
+        assert local.counter("remote.only").value == 2
+
+    def test_gauges_take_max(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        local.gauge("peak").set(100)
+        remote.gauge("peak").set(40)
+        local.merge_remote(remote.snapshot())
+        assert local.gauge("peak").value == 100
+        remote.gauge("peak").set(500)
+        local.merge_remote(remote.snapshot())
+        assert local.gauge("peak").value == 500
+
+    def test_histograms_merge_bucketwise(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        bounds = (1.0, 10.0)
+        local.histogram("lat", buckets=bounds).observe(0.5)
+        remote.histogram("lat", buckets=bounds).observe(5.0)
+        remote.histogram("lat", buckets=bounds).observe(0.1)
+        local.merge_remote(remote.snapshot())
+        snap = local.histogram("lat", buckets=bounds).snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(5.6)
+        assert snap["min"] == pytest.approx(0.1)
+        assert snap["max"] == pytest.approx(5.0)
+        assert snap["buckets"] == {"1.0": 2, "10.0": 3}
+
+    def test_merge_into_empty_histogram_keeps_min_max(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        remote.histogram("lat", buckets=(1.0,)).observe(0.3)
+        local.histogram("lat", buckets=(1.0,))
+        local.merge_remote(remote.snapshot())
+        snap = local.histogram("lat", buckets=(1.0,)).snapshot()
+        assert snap["min"] == pytest.approx(0.3)
+        assert snap["max"] == pytest.approx(0.3)
+
+    def test_empty_snapshot_is_noop(self):
+        local = MetricsRegistry()
+        local.counter("hits").inc(1)
+        local.merge_remote({})
+        assert local.counter("hits").value == 1
+
 
 class TestThreadSafety:
     def test_concurrent_increments_all_land(self):

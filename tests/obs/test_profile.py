@@ -1,0 +1,100 @@
+"""Tests for the sampling profiler."""
+
+import time
+
+import pytest
+
+from repro.obs.profile import DEFAULT_HZ, SamplingProfiler, _frame_label
+
+
+def _busy(seconds):
+    """Burn CPU under a recognizable frame for ``seconds``."""
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(i * i for i in range(1000))
+    return total
+
+
+class TestSampling:
+    def test_captures_samples_of_calling_thread(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            _busy(0.3)
+        assert profiler.sample_count > 0
+        assert profiler.elapsed >= 0.3
+        assert profiler.seconds_per_sample() > 0
+        # The busy function shows up in at least one collapsed stack.
+        assert "_busy" in profiler.collapsed()
+
+    def test_stop_is_idempotent_and_start_reentrant(self):
+        profiler = SamplingProfiler(hz=50)
+        assert profiler.start() is profiler
+        profiler.start()  # second start is a no-op
+        profiler.stop()
+        profiler.stop()
+        assert profiler.sample_count >= 0
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_default_hz_is_prime_ish(self):
+        # Guard the anti-phase-locking choice against a careless edit
+        # back to a round number.
+        assert DEFAULT_HZ % 10 != 0
+
+
+class TestExporters:
+    def _profiled(self):
+        profiler = SamplingProfiler(hz=250)
+        with profiler:
+            _busy(0.3)
+        return profiler
+
+    def test_collapsed_format(self):
+        profiler = self._profiled()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack  # frames joined by ';'
+            assert int(count) >= 1
+
+    def test_top_self_and_total(self):
+        profiler = self._profiled()
+        rows = profiler.top(5)
+        assert rows
+        for row in rows:
+            assert row["total"] >= row["self"] >= 1
+            assert row["total_seconds"] >= row["self_seconds"]
+        # Rows come hottest-first by self samples.
+        selfs = [row["self"] for row in rows]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_render_top_mentions_rate_and_samples(self):
+        profiler = self._profiled()
+        text = profiler.render_top(3)
+        assert "function" in text
+        assert "250Hz" in text
+
+    def test_render_top_without_samples(self):
+        profiler = SamplingProfiler(hz=50)
+        assert profiler.render_top() == "(no samples)"
+
+    def test_write_collapsed_creates_parents(self, tmp_path):
+        profiler = self._profiled()
+        out = tmp_path / "deep" / "profile.collapsed"
+        written = profiler.write_collapsed(out)
+        assert written == out
+        assert out.read_text(encoding="utf-8") == profiler.collapsed()
+
+
+class TestFrameLabel:
+    def test_label_is_module_dot_qualname(self):
+        import sys
+
+        frame = sys._getframe()
+        label = _frame_label(frame)
+        assert label.startswith("test_profile.")
+        assert "test_label_is_module_dot_qualname" in label

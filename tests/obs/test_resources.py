@@ -1,0 +1,115 @@
+"""Tests for opt-in per-span resource accounting."""
+
+import gc
+
+import pytest
+
+from repro.obs import metrics, resources, trace
+from repro.obs.trace import Tracer
+
+
+class TestRawReads:
+    def test_rss_and_peak_positive(self):
+        rss = resources.rss_kb()
+        peak = resources.peak_rss_kb()
+        assert rss > 0
+        assert peak > 0
+
+    def test_cpu_seconds_monotone(self):
+        user1, sys1 = resources.cpu_seconds()
+        # Burn a little CPU so the second reading can only be >=.
+        sum(i * i for i in range(50_000))
+        user2, sys2 = resources.cpu_seconds()
+        assert user2 >= user1
+        assert sys2 >= sys1
+
+    def test_sample_carries_every_field(self):
+        sample = resources.sample()
+        assert sample.rss_kb > 0
+        assert sample.peak_rss_kb > 0
+        assert sample.cpu_user_s >= 0
+        assert sample.gc_collections >= 0
+
+    def test_reset_peak_rss_returns_bool(self):
+        assert resources.reset_peak_rss() in (True, False)
+
+
+class TestSwitch:
+    def test_disabled_by_default_and_toggles(self):
+        assert not resources.enabled()
+        resources.enable()
+        assert resources.enabled()
+        resources.disable()
+        assert not resources.enabled()
+
+    def test_enable_is_idempotent_for_gc_hook(self):
+        resources.enable()
+        resources.enable()
+        hooks = [cb for cb in gc.callbacks
+                 if cb is resources._gc_callback]
+        assert len(hooks) == 1
+        resources.disable()
+        assert resources._gc_callback not in gc.callbacks
+
+
+class TestSpanAttributes:
+    def test_spans_carry_resource_attributes_when_enabled(self):
+        resources.enable()
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            # Allocate something so the deltas are exercised.
+            blob = [0] * 100_000
+            del blob
+        span = tracer.finished_spans()[0]
+        assert "rss_delta_kb" in span.attributes
+        assert span.attributes["rss_peak_kb"] > 0
+        assert span.attributes["cpu_user_s"] >= 0
+        assert span.attributes["cpu_sys_s"] >= 0
+
+    def test_spans_clean_when_disabled(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage", shard=1):
+            pass
+        span = tracer.finished_spans()[0]
+        assert span.attributes == {"shard": 1}
+
+    def test_gc_pause_attributed_to_open_span(self):
+        resources.enable()
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            gc.collect()
+        span = tracer.finished_spans()[0]
+        assert span.attributes["gc_collections"] >= 1
+        assert span.attributes["gc_pause_s"] >= 0
+
+    def test_proc_gauges_updated(self):
+        resources.enable()
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            pass
+        snap = metrics.get_registry().snapshot()
+        assert snap["gauges"]["proc.rss_kb"] > 0
+        assert snap["gauges"]["proc.rss_peak_kb"] >= \
+            snap["gauges"]["proc.rss_kb"] * 0.5
+
+    def test_peak_gauge_is_high_water_mark(self):
+        resources.enable()
+        gauge = metrics.gauge("proc.rss_peak_kb")
+        gauge.set(10 ** 12)  # absurdly high previous peak
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage"):
+            pass
+        assert gauge.value == 10 ** 12
+
+
+class TestDisabledOverhead:
+    def test_disabled_tracer_never_probes_resources(self, monkeypatch):
+        # The no-op guarantee: with tracing disabled, span() must not
+        # even ask whether resource accounting is on.
+        def boom():
+            raise AssertionError("resources probed while tracing disabled")
+
+        monkeypatch.setattr(resources, "begin_span", boom)
+        resources.enable()
+        with trace.span("invisible"):
+            pass

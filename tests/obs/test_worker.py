@@ -1,0 +1,146 @@
+"""Tests for cross-process observability aggregation.
+
+The contract under test: a ``--jobs N`` run's merged telemetry is
+indistinguishable from a ``--jobs 1`` run's -- one span tree, with the
+per-worker subtrees grafted under the fan-out span and tagged
+``worker=N``, and counters that sum to the sequential run's values.
+"""
+
+import pytest
+
+from repro.obs import metrics, trace, worker
+from repro.obs.worker import ObsConfig, ObsPayload
+
+
+def _task(amount):
+    """A module-level (hence picklable) task that records telemetry."""
+    with trace.span("task.unit", amount=amount):
+        metrics.counter("task.work_done").inc(amount)
+    return amount * 2
+
+
+class TestRunTask:
+    def test_returns_result_and_payload(self):
+        result, payload = worker.run_task(
+            ObsConfig(trace=True), 3, _task, 21
+        )
+        assert result == 42
+        assert payload.worker == 3
+        assert [s["name"] for s in payload.spans] == ["task.unit"]
+        assert payload.metrics["counters"]["task.work_done"] == 21
+
+    def test_resets_inherited_state(self):
+        # Simulate what fork hands a worker: recorded spans and counter
+        # values from the parent.  run_task must drop both, or the
+        # payload double-counts when absorbed at home.
+        trace.enable()
+        with trace.span("parent.stale"):
+            pass
+        metrics.counter("task.work_done").inc(1000)
+
+        _, payload = worker.run_task(ObsConfig(trace=True), 0, _task, 5)
+        assert [s["name"] for s in payload.spans] == ["task.unit"]
+        assert payload.metrics["counters"]["task.work_done"] == 5
+
+    def test_trace_disabled_ships_no_spans(self):
+        _, payload = worker.run_task(ObsConfig(trace=False), 0, _task, 5)
+        assert payload.spans == []
+        # Metrics are always-on regardless of tracing.
+        assert payload.metrics["counters"]["task.work_done"] == 5
+
+    def test_current_config_reflects_switches(self):
+        assert worker.current_config() == ObsConfig(
+            trace=False, resources=False
+        )
+        trace.enable()
+        assert worker.current_config().trace is True
+
+
+class TestAbsorb:
+    def _payload(self, worker_id, amount):
+        return ObsPayload(
+            worker=worker_id,
+            spans=[{
+                "name": "task.unit",
+                "duration": 0.25,
+                "attributes": {"amount": amount},
+                "error": None,
+                "children": [],
+            }],
+            metrics={
+                "counters": {"task.work_done": float(amount)},
+                "gauges": {"proc.rss_peak_kb": 1000.0 * (worker_id + 1)},
+                "histograms": {},
+            },
+        )
+
+    def test_grafts_under_parent_with_worker_tags(self):
+        trace.enable()
+        with trace.span("fanout") as fan:
+            worker.absorb(
+                [self._payload(0, 3), self._payload(1, 4)],
+                parent_span=fan,
+            )
+        root = trace.finished_spans()[0]
+        assert [c.attributes["worker"] for c in root.children] == [0, 1]
+        assert all(c.name == "task.unit" for c in root.children)
+        # Duration survives the round trip (start=0, end=duration).
+        assert root.children[0].duration == pytest.approx(0.25)
+
+    def test_counters_sum_and_gauges_take_max(self):
+        trace.enable()
+        metrics.counter("task.work_done").inc(10)
+        worker.absorb([self._payload(0, 3), self._payload(1, 4)])
+        snap = metrics.get_registry().snapshot()
+        assert snap["counters"]["task.work_done"] == 17
+        assert snap["gauges"]["proc.rss_peak_kb"] == 2000.0
+
+    def test_none_payloads_and_noop_parent_tolerated(self):
+        trace.enable()
+        # A disabled tracer hands out the shared no-op span; absorb must
+        # accept it (and None payloads from failed futures) gracefully.
+        with trace.span("fanout"):
+            pass
+        worker.absorb([None, self._payload(0, 1)], parent_span=object())
+        roots = [r.name for r in trace.finished_spans()]
+        assert roots == ["fanout", "task.unit"]
+
+    def test_merge_remote_noop_while_disabled(self):
+        grafted = trace.merge_remote(
+            self._payload(0, 1).spans, parent=None, worker=0
+        )
+        assert grafted == []
+        assert trace.finished_spans() == []
+
+
+class TestParallelEqualsSequential:
+    """The acceptance invariant, end to end on a tiny world."""
+
+    SCALE = 0.001
+
+    def _generate(self, jobs):
+        from repro.synth.world import World, WorldConfig
+
+        metrics.get_registry().reset()
+        trace.reset()
+        config = WorldConfig(seed=11, scale=self.SCALE, shards=2)
+        dataset = World(config, jobs=jobs).collect()
+        counters = metrics.get_registry().snapshot()["counters"]
+        return dataset.content_digest(), counters
+
+    def test_merged_counters_equal_sequential_run(self):
+        trace.enable()
+        digest_seq, counters_seq = self._generate(jobs=1)
+        digest_par, counters_par = self._generate(jobs=2)
+
+        assert digest_seq == digest_par
+        assert counters_par["world.shard_events"] == \
+            counters_seq["world.shard_events"]
+
+        # And the parallel run produced ONE merged tree: both shard
+        # spans live under the fan-out span, tagged by worker.
+        fan = trace.get_tracer().find("synth.simulate_shards")
+        assert fan is not None
+        shard_spans = [c for c in fan.children if c.name == "synth.shard"]
+        assert sorted(c.attributes.get("worker") for c in shard_spans) == \
+            [0, 1]
