@@ -24,8 +24,8 @@ chunked) and ``import`` reads one back with full verification (or
 ``report`` renders any subset of the paper's tables/figures; ``rules``
 prints the learned human-readable rules for one training month;
 ``evaluate`` runs the full Tables XVI/XVII experiment; ``run`` executes
-the whole pipeline once (generate, collect, label, learn) and is the
-natural companion of the observability flags; ``stats`` prints the span
+the whole pipeline once (generate, collect, label, learn, evaluate) and
+is the natural companion of the observability flags; ``stats`` prints the span
 tree and metrics snapshot for a run; ``validate`` is the statistical
 fidelity gate (:mod:`repro.validation`) -- it sweeps worlds across
 seeds, tests every calibration target, prints the verdict table,
@@ -372,16 +372,21 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    """End-to-end pipeline run: generate, collect, label, learn.
+    """End-to-end pipeline run: generate, collect, label, learn, evaluate.
 
     The observability showcase: with ``--trace`` the printed span tree
-    covers every stage; with ``--metrics-out`` the metrics snapshot and
-    run manifest land next to each other.
+    covers every stage — including the shard-generation and month-pair
+    pool fan-outs, whose worker spans merge back under ``worker=N`` —
+    and with ``--metrics-out`` the metrics snapshot and run manifest
+    land next to each other.
     """
     session = _session(args)
     rules, training = learn_rules(session.labeled, session.alexa,
                                   args.train_month)
     selected = rules.select(args.tau)
+    evaluation = full_evaluation(
+        session.labeled, session.alexa, taus=(args.tau,), jobs=args.jobs,
+    )
     labels = session.labeled.label_counts()
     print(f"events reported:  {len(session.dataset.events)}")
     print(f"files observed:   {len(session.dataset.files)}")
@@ -397,6 +402,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"(month {args.train_month})")
     print(f"rules learned:    {len(rules)} "
           f"({len(selected)} selected at tau={args.tau})")
+    expansion = evaluation.label_expansion(args.tau)
+    print(f"month pairs:      {len(evaluation.runs)} evaluated at "
+          f"tau={args.tau}; labeled "
+          f"{expansion['labeled_unknowns']:.0f} unknowns "
+          f"({expansion['expansion_pct']:.0f}% ground-truth expansion)")
     return 0
 
 

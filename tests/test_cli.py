@@ -162,10 +162,13 @@ class TestRun:
         ) == 0
         output = capsys.readouterr().out
         assert "rules learned:" in output
-        # The printed span tree covers every pipeline stage.
+        assert "month pairs:" in output
+        # The printed span tree covers every pipeline stage, including
+        # the monthly evaluation fan-out.
         for stage in ("pipeline.build_session", "synth.generate_world",
                       "telemetry.collect", "labeling.label_dataset",
-                      "core.learn_rules"):
+                      "core.learn_rules", "core.full_evaluation",
+                      "core.evaluate_month_pair"):
             assert stage in output
         # Metrics snapshot + run manifest written side by side.
         snapshot = json.loads(metrics_out.read_text())
@@ -186,6 +189,25 @@ class TestRun:
         text = metrics_out.read_text()
         assert "# TYPE" in text
         assert "labeler_files_labeled_total" in text
+
+    def test_pooled_run_merges_both_fanouts(self, capsys):
+        # The acceptance shape for the cross-process tracer: one merged
+        # span tree holding worker-tagged spans from BOTH pool sites
+        # (shard generation and month-pair evaluation).
+        assert main(
+            ["run", *SCALE, "--no-cache", "--trace",
+             "--shards", "2", "--jobs", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        tree = output.split("# trace", 1)[1]
+        shard_lines = [line for line in tree.splitlines()
+                       if "synth.shard" in line]
+        pair_lines = [line for line in tree.splitlines()
+                      if "core.evaluate_month_pair" in line]
+        assert len(shard_lines) == 2
+        assert len(pair_lines) == 6
+        assert all("worker=" in line for line in shard_lines)
+        assert all("worker=" in line for line in pair_lines)
 
 
 class TestStats:
