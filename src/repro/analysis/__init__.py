@@ -1,20 +1,32 @@
 """Measurement analyses: one module per section of the paper's evaluation.
 
-=====================  =======================================
+=====================  ==================================================
 Module                 Paper content
-=====================  =======================================
+=====================  ==================================================
 ``summary``            Table I (monthly dataset summary)
 ``families``           Figure 1, Table II (families & types)
 ``prevalence``         Figure 2, Section IV-A
-``domains``            Tables III/IV/V/XIII, Figures 3/6
+``domains``            Tables III/IV/V, Figures 3/6, and Table XIII
+                       (top domains by *unknown-file* downloads)
 ``signers``            Tables VI-IX, Figure 4
 ``packers``            Section IV-C
-``processes``          Tables X/XI/XII/XIV
+``processes``          Tables X/XI/XII, and Table XIV (unknown files
+                       per benign process category)
 ``infection``          Figure 5 (infection timing)
-=====================  =======================================
+``unknowns``           Section VI-A (profile of the unknown mass)
+``common``             Shared scalar iteration/top-N helpers and the
+                       ``fast=`` knob dispatcher
+``frame``              The shared columnar :class:`SessionFrame` every
+                       fast path runs on (built once per session)
+=====================  ==================================================
+
+Every analysis function accepts ``fast=None|True|False``: ``None``
+auto-selects the vectorized columnar path when numpy is available,
+``False`` forces the scalar reference implementation (the equivalence
+oracle), ``True`` demands the columnar path.
 """
 
-from .common import cdf_points
+from .common import cdf_points, labeled_events, resolve_frame, top_n
 from .domains import (
     AlexaRankDistribution,
     DomainPopularity,
@@ -31,6 +43,14 @@ from .families import (
     TypeBreakdownRow,
     family_distribution,
     type_breakdown,
+)
+from .frame import (
+    DEFAULT_CHUNK_ROWS,
+    SessionFrame,
+    Vocabulary,
+    build_frame,
+    clear_frame_cache,
+    session_frame,
 )
 from .infection import (
     SOURCES,
@@ -66,6 +86,7 @@ from .unknowns import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_ROWS",
     "SOURCES",
     "TYPE_DESCRIPTIONS",
     "AlexaRankDistribution",
@@ -78,6 +99,7 @@ __all__ = [
     "PackerReport",
     "PrevalenceReport",
     "ProcessBehaviorRow",
+    "SessionFrame",
     "SignedRateRow",
     "SignerCountRow",
     "TopSignersRow",
@@ -85,23 +107,30 @@ __all__ = [
     "TypeBreakdownRow",
     "UnknownCharacteristics",
     "UnknownDownloadsRow",
+    "Vocabulary",
     "alexa_rank_distribution",
     "benign_process_behavior",
     "browser_behavior",
+    "build_frame",
     "cdf_points",
+    "clear_frame_cache",
     "domain_popularity",
     "domains_per_type",
     "exclusive_signers",
     "family_distribution",
     "files_per_domain",
     "infection_timing",
+    "labeled_events",
     "malicious_process_behavior",
     "monthly_summary",
     "packer_report",
     "prevalence_report",
+    "resolve_frame",
+    "session_frame",
     "shared_signer_scatter",
     "signed_percentages",
     "signer_counts",
+    "top_n",
     "top_signers",
     "type_breakdown",
     "unknown_characteristics",

@@ -1,9 +1,32 @@
-"""Shared helpers for the measurement analyses."""
+"""Shared helpers for the measurement analyses.
+
+Two kinds of helpers live here:
+
+* scalar iteration/bookkeeping shared by every analysis module's
+  reference implementation (:func:`labeled_events`, :func:`top_n`,
+  :func:`count_by`, ...), so the ten modules stop re-implementing the
+  same label/top-N loops;
+* :func:`resolve_frame`, the single dispatcher behind every analysis
+  function's ``fast=`` knob: it resolves ``None`` (auto) / ``True`` /
+  ``False`` to either the memoized columnar
+  :class:`~repro.analysis.frame.SessionFrame` or ``None`` (scalar
+  path), mirroring :class:`repro.core.classifier.RuleBasedClassifier`.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import (
@@ -13,6 +36,51 @@ from ..labeling.labels import (
     browser_from_name,
     categorize_process_name,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..labeling.whitelists import AlexaService
+    from ..telemetry.events import DownloadEvent
+    from .frame import SessionFrame
+
+
+def resolve_frame(
+    labeled: LabeledDataset,
+    fast: Optional[bool],
+    alexa: Optional["AlexaService"] = None,
+) -> Optional["SessionFrame"]:
+    """Resolve an analysis ``fast=`` knob to a frame or the scalar path.
+
+    ``None`` auto-selects the columnar path when numpy is importable;
+    ``True`` demands it (raises without numpy); ``False`` forces the
+    scalar reference implementation.  The returned frame is the
+    session-memoized one, so the first analysis of a session pays the
+    single build and every later one is a cache hit.
+    """
+    if fast is False:
+        return None
+    from . import frame as frame_mod
+
+    if not frame_mod.HAVE_NUMPY:
+        if fast:
+            raise RuntimeError(
+                "fast=True requires numpy; install it or pass fast=False"
+            )
+        return None
+    return frame_mod.session_frame(labeled, alexa)
+
+
+def labeled_events(
+    labeled: LabeledDataset,
+) -> Iterator[Tuple["DownloadEvent", FileLabel]]:
+    """Each event paired with its downloaded file's label.
+
+    The one iteration helper behind the scalar analysis loops; the
+    modules used to each re-open ``labeled.dataset.events`` and re-do
+    the ``file_labels`` lookup themselves.
+    """
+    file_labels = labeled.file_labels
+    for event in labeled.dataset.events:
+        yield event, file_labels[event.file_sha1]
 
 
 def cdf_points(
@@ -75,10 +143,9 @@ def files_downloaded_by(
         FileLabel.BENIGN: set(),
         FileLabel.MALICIOUS: set(),
     }
-    for event in labeled.dataset.events:
+    for event, label in labeled_events(labeled):
         if event.process_sha1 not in wanted:
             continue
-        label = labeled.file_labels[event.file_sha1]
         if label in result:
             result[label].add(event.file_sha1)
     return result
@@ -103,11 +170,11 @@ def infected_machine_fraction(
     wanted = set(process_shas)
     machines: Set[str] = set()
     infected: Set[str] = set()
-    for event in labeled.dataset.events:
+    for event, label in labeled_events(labeled):
         if event.process_sha1 not in wanted:
             continue
         machines.add(event.machine_id)
-        if labeled.file_labels[event.file_sha1] == FileLabel.MALICIOUS:
+        if label == FileLabel.MALICIOUS:
             infected.add(event.machine_id)
     return len(infected) / len(machines) if machines else 0.0
 
@@ -123,6 +190,11 @@ def first_download_events(labeled: LabeledDataset) -> Dict[str, object]:
 def top_n(counter: Dict[str, int], n: int) -> List[Tuple[str, int]]:
     """Top-``n`` (key, count) pairs, ties broken by key for determinism."""
     return sorted(counter.items(), key=lambda item: (-item[1], item[0]))[:n]
+
+
+def top_n_by_size(index: Dict[str, Set[str]], n: int) -> List[Tuple[str, int]]:
+    """Top-``n`` keys of a grouped index by distinct-value count."""
+    return top_n({key: len(values) for key, values in index.items()}, n)
 
 
 def count_by(

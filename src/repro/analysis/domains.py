@@ -9,12 +9,15 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import FileLabel, MalwareType
 from ..labeling.whitelists import AlexaService
-from .common import top_n
+from .common import labeled_events, resolve_frame, top_n, top_n_by_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 @dataclasses.dataclass(frozen=True)
@@ -26,27 +29,58 @@ class DomainPopularity:
     malicious: List[Tuple[str, int]]
 
 
-def domain_popularity(labeled: LabeledDataset, n: int = 10) -> DomainPopularity:
+def _domain_popularity_frame(
+    frame: "SessionFrame", n: int
+) -> DomainPopularity:
+    from .frame import (
+        FILE_LABEL_CODE,
+        code_count_dict,
+        counts_per_code,
+        unique_pairs,
+    )
+
+    labels = frame.event_file_label()
+    n_machines = frame.n_machines
+    n_domains = frame.n_domains
+
+    def ranked(mask) -> List[Tuple[str, int]]:
+        domains = frame.event_domain if mask is None else frame.event_domain[mask]
+        machines = (
+            frame.event_machine if mask is None else frame.event_machine[mask]
+        )
+        pair_domains, _ = unique_pairs(domains, machines, n_machines)
+        counts = counts_per_code(pair_domains, n_domains)
+        return top_n(code_count_dict(frame.domains, counts), n)
+
+    return DomainPopularity(
+        overall=ranked(None),
+        benign=ranked(labels == FILE_LABEL_CODE[FileLabel.BENIGN]),
+        malicious=ranked(labels == FILE_LABEL_CODE[FileLabel.MALICIOUS]),
+    )
+
+
+def domain_popularity(
+    labeled: LabeledDataset, n: int = 10, fast: Optional[bool] = None
+) -> DomainPopularity:
     """Top-``n`` domains by unique downloading machines (Table III)."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _domain_popularity_frame(frame, n)
     machines_overall: Dict[str, Set[str]] = defaultdict(set)
     machines_benign: Dict[str, Set[str]] = defaultdict(set)
     machines_malicious: Dict[str, Set[str]] = defaultdict(set)
-    for event in labeled.dataset.events:
+    for event, label in labeled_events(labeled):
         domain = event.e2ld
         machines_overall[domain].add(event.machine_id)
-        label = labeled.file_labels[event.file_sha1]
         if label == FileLabel.BENIGN:
             machines_benign[domain].add(event.machine_id)
         elif label == FileLabel.MALICIOUS:
             machines_malicious[domain].add(event.machine_id)
 
-    def ranked(index: Dict[str, Set[str]]) -> List[Tuple[str, int]]:
-        return top_n({d: len(m) for d, m in index.items()}, n)
-
     return DomainPopularity(
-        overall=ranked(machines_overall),
-        benign=ranked(machines_benign),
-        malicious=ranked(machines_malicious),
+        overall=top_n_by_size(machines_overall, n),
+        benign=top_n_by_size(machines_benign, n),
+        malicious=top_n_by_size(machines_malicious, n),
     )
 
 
@@ -59,27 +93,91 @@ class FilesPerDomain:
     shared_domains: Set[str]
 
 
-def files_per_domain(labeled: LabeledDataset, n: int = 10) -> FilesPerDomain:
+def _files_per_domain_frame(frame: "SessionFrame", n: int) -> FilesPerDomain:
+    from .frame import (
+        FILE_LABEL_CODE,
+        code_count_dict,
+        counts_per_code,
+        np,
+        unique_pairs,
+    )
+
+    labels = frame.event_file_label()
+    n_files = frame.n_files
+    n_domains = frame.n_domains
+
+    def served(label: FileLabel):
+        mask = labels == FILE_LABEL_CODE[label]
+        pair_domains, _ = unique_pairs(
+            frame.event_domain[mask], frame.event_file[mask], n_files
+        )
+        return counts_per_code(pair_domains, n_domains)
+
+    benign_counts = served(FileLabel.BENIGN)
+    malicious_counts = served(FileLabel.MALICIOUS)
+    shared = np.nonzero((benign_counts > 0) & (malicious_counts > 0))[0]
+    names = frame.domains.values
+    return FilesPerDomain(
+        benign=top_n(code_count_dict(frame.domains, benign_counts), n),
+        malicious=top_n(code_count_dict(frame.domains, malicious_counts), n),
+        shared_domains={names[code] for code in shared},
+    )
+
+
+def files_per_domain(
+    labeled: LabeledDataset, n: int = 10, fast: Optional[bool] = None
+) -> FilesPerDomain:
     """Top-``n`` domains by number of unique files served (Table IV)."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _files_per_domain_frame(frame, n)
     benign_files: Dict[str, Set[str]] = defaultdict(set)
     malicious_files: Dict[str, Set[str]] = defaultdict(set)
-    for event in labeled.dataset.events:
-        label = labeled.file_labels[event.file_sha1]
+    for event, label in labeled_events(labeled):
         if label == FileLabel.BENIGN:
             benign_files[event.e2ld].add(event.file_sha1)
         elif label == FileLabel.MALICIOUS:
             malicious_files[event.e2ld].add(event.file_sha1)
     return FilesPerDomain(
-        benign=top_n({d: len(f) for d, f in benign_files.items()}, n),
-        malicious=top_n({d: len(f) for d, f in malicious_files.items()}, n),
+        benign=top_n_by_size(benign_files, n),
+        malicious=top_n_by_size(malicious_files, n),
         shared_domains=set(benign_files) & set(malicious_files),
     )
 
 
+def _domains_per_type_frame(
+    frame: "SessionFrame", n: int
+) -> Dict[MalwareType, List[Tuple[str, int]]]:
+    from .frame import MALWARE_TYPES, counts_per_code, np, unique_triples
+
+    types = frame.event_file_type()
+    typed = types >= 0
+    triple_types, triple_domains, _ = unique_triples(
+        types[typed],
+        frame.event_domain[typed],
+        frame.event_file[typed],
+        frame.n_domains,
+        frame.n_files,
+    )
+    names = frame.domains.values
+    result: Dict[MalwareType, List[Tuple[str, int]]] = {}
+    for code in np.unique(triple_types):
+        mask = triple_types == code
+        counts = counts_per_code(triple_domains[mask], frame.n_domains)
+        present = np.nonzero(counts)[0]
+        result[MALWARE_TYPES[int(code)]] = top_n(
+            {names[d]: int(counts[d]) for d in present}, n
+        )
+    return result
+
+
 def domains_per_type(
-    labeled: LabeledDataset, n: int = 10
+    labeled: LabeledDataset, n: int = 10, fast: Optional[bool] = None
 ) -> Dict[MalwareType, List[Tuple[str, int]]]:
     """Table V: per malicious type, domains serving the most files."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _domains_per_type_frame(frame, n)
     files_by_type_domain: Dict[MalwareType, Dict[str, Set[str]]] = defaultdict(
         lambda: defaultdict(set)
     )
@@ -89,18 +187,31 @@ def domains_per_type(
             continue
         files_by_type_domain[mtype][event.e2ld].add(event.file_sha1)
     return {
-        mtype: top_n({d: len(f) for d, f in domains.items()}, n)
+        mtype: top_n_by_size(domains, n)
         for mtype, domains in files_by_type_domain.items()
     }
 
 
+def _unknown_download_domains_frame(
+    frame: "SessionFrame", n: int
+) -> List[Tuple[str, int]]:
+    from .frame import FILE_LABEL_CODE, code_count_dict, counts_per_code
+
+    mask = frame.event_file_label() == FILE_LABEL_CODE[FileLabel.UNKNOWN]
+    counts = counts_per_code(frame.event_domain[mask], frame.n_domains)
+    return top_n(code_count_dict(frame.domains, counts), n)
+
+
 def unknown_download_domains(
-    labeled: LabeledDataset, n: int = 10
+    labeled: LabeledDataset, n: int = 10, fast: Optional[bool] = None
 ) -> List[Tuple[str, int]]:
     """Table XIII: top domains by number of unknown-file downloads."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _unknown_download_domains_frame(frame, n)
     downloads: Counter = Counter()
-    for event in labeled.dataset.events:
-        if labeled.file_labels[event.file_sha1] == FileLabel.UNKNOWN:
+    for event, label in labeled_events(labeled):
+        if label == FileLabel.UNKNOWN:
             downloads[event.e2ld] += 1
     return top_n(downloads, n)
 
@@ -126,13 +237,40 @@ class AlexaRankDistribution:
         return cdf_points(self.ranks.get(label, []), grid)
 
 
+def _alexa_rank_distribution_frame(
+    frame: "SessionFrame",
+) -> AlexaRankDistribution:
+    from .frame import FILE_LABELS, np, unique_pairs
+
+    pair_labels, pair_domains = unique_pairs(
+        frame.event_file_label(), frame.event_domain, frame.n_domains
+    )
+    ranks: Dict[FileLabel, List[int]] = {}
+    unranked: Dict[FileLabel, float] = {}
+    for code in np.unique(pair_labels):
+        domains = pair_domains[pair_labels == code]
+        domain_ranks = frame.domain_rank[domains]
+        found = domain_ranks[domain_ranks >= 0]
+        label = FILE_LABELS[int(code)]
+        ranks[label] = sorted(int(rank) for rank in found)
+        total = int(domains.shape[0])
+        unranked[label] = (
+            1.0 - int(found.shape[0]) / total if total else 0.0
+        )
+    return AlexaRankDistribution(ranks=ranks, unranked_fraction=unranked)
+
+
 def alexa_rank_distribution(
-    labeled: LabeledDataset, alexa: AlexaService
+    labeled: LabeledDataset,
+    alexa: AlexaService,
+    fast: Optional[bool] = None,
 ) -> AlexaRankDistribution:
     """Ranks of hosting domains per file class (Figures 3 and 6)."""
+    frame = resolve_frame(labeled, fast, alexa)
+    if frame is not None:
+        return _alexa_rank_distribution_frame(frame)
     domains_by_label: Dict[FileLabel, Set[str]] = defaultdict(set)
-    for event in labeled.dataset.events:
-        label = labeled.file_labels[event.file_sha1]
+    for event, label in labeled_events(labeled):
         domains_by_label[label].add(event.e2ld)
     ranks: Dict[FileLabel, List[int]] = {}
     unranked: Dict[FileLabel, float] = {}

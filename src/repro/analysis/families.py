@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import MalwareType
+from .common import resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 #: Table II's one-line descriptions, kept for the table renderer.
 TYPE_DESCRIPTIONS: Dict[MalwareType, str] = {
@@ -63,10 +67,35 @@ class FamilyDistribution:
         return self.unlabeled_samples / total if total else 0.0
 
 
+def _family_distribution_frame(
+    frame: "SessionFrame", top: int
+) -> FamilyDistribution:
+    from .frame import FAMILY_NONE, counts_per_code, np
+
+    column = frame.file_family
+    counts = counts_per_code(
+        column[column >= 0], len(frame.families)
+    )
+    unlabeled = int((column == FAMILY_NONE).sum())
+    names = frame.families.values
+    items = [
+        (names[code], int(counts[code])) for code in np.nonzero(counts)[0]
+    ]
+    return FamilyDistribution(
+        top_families=sorted(items, key=lambda item: (-item[1], item[0]))[:top],
+        total_families=len(items),
+        labeled_samples=int(counts.sum()),
+        unlabeled_samples=unlabeled,
+    )
+
+
 def family_distribution(
-    labeled: LabeledDataset, top: int = 25
+    labeled: LabeledDataset, top: int = 25, fast: Optional[bool] = None
 ) -> FamilyDistribution:
     """Figure 1: top families among malicious files by sample count."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _family_distribution_frame(frame, top)
     counter: Counter = Counter()
     unlabeled = 0
     for family in labeled.file_families.values():
@@ -94,8 +123,38 @@ class TypeBreakdownRow:
     description: str
 
 
-def type_breakdown(labeled: LabeledDataset) -> List[TypeBreakdownRow]:
+def _type_breakdown_frame(frame: "SessionFrame") -> List[TypeBreakdownRow]:
+    from .frame import MALWARE_TYPE_CODE, np
+
+    column = frame.file_type
+    counts = np.bincount(
+        column[column >= 0], minlength=len(MalwareType)
+    )
+    total = int(counts.sum())
+    rows = [
+        TypeBreakdownRow(
+            mtype=mtype,
+            count=int(counts[MALWARE_TYPE_CODE[mtype]]),
+            pct=(
+                100.0 * int(counts[MALWARE_TYPE_CODE[mtype]]) / total
+                if total
+                else 0.0
+            ),
+            description=TYPE_DESCRIPTIONS[mtype],
+        )
+        for mtype in MalwareType
+    ]
+    rows.sort(key=lambda row: -row.count)
+    return rows
+
+
+def type_breakdown(
+    labeled: LabeledDataset, fast: Optional[bool] = None
+) -> List[TypeBreakdownRow]:
     """Table II: malicious downloaded files per behavior type."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _type_breakdown_frame(frame)
     counter: Counter = Counter(
         extraction.mtype for extraction in labeled.file_types.values()
     )

@@ -11,11 +11,14 @@ control group).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import FIG5_EXCLUDED_TYPES, FileLabel, MalwareType
-from .common import cdf_points
+from .common import cdf_points, resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 #: The Figure 5 source classes.
 SOURCES = ("benign", "adware", "pup", "dropper")
@@ -62,8 +65,102 @@ def _is_other_malware(labeled: LabeledDataset, sha1: str) -> bool:
     return mtype is not None and mtype not in FIG5_EXCLUDED_TYPES
 
 
+def _infection_timing_frame(
+    frame: "SessionFrame", grid: Sequence[float]
+) -> InfectionTimingReport:
+    """Vectorized Figure 5: one stable sort, then per-source searchsorted.
+
+    The scalar walk visits each machine's timeline once; per source it
+    uses the *first* source download (registration) and resolves it at
+    the first other-malware event *strictly after* it (the scalar loop
+    checks other-malware before registering, so a same-event source never
+    self-resolves).  Benign registrations preceded by any malicious
+    download are dropped (the paper's control-group condition).  All of
+    that maps onto positions in a machine-grouped ordering:
+
+    * stable-argsort events by machine code -- machine codes are assigned
+      in first-appearance order, so segments appear in the same order the
+      scalar path iterates ``events_by_machine``, and within a segment
+      events keep their global (time-sorted) order;
+    * registration = first in-segment position with the source's code;
+    * resolution = first other-malware position ``> registration`` still
+      inside the segment (``searchsorted`` on the sorted positions);
+    * benign control = no malicious position ``< registration``.
+    """
+    from .frame import FILE_LABEL_CODE, MALWARE_TYPE_CODE, np
+
+    deltas: Dict[str, List[float]] = {source: [] for source in SOURCES}
+    n = frame.n_events
+    if n == 0:
+        return InfectionTimingReport(deltas=deltas, grid=grid)
+
+    labels = frame.event_file_label()
+    types = frame.event_file_type()
+
+    # Per-event source class (-1 = not a source).  Type rules first,
+    # then the benign label overrides, mirroring ``_source_of``.
+    source_codes = np.full(n, -1, dtype=np.int8)
+    source_codes[types == MALWARE_TYPE_CODE[MalwareType.ADWARE]] = SOURCES.index("adware")
+    source_codes[types == MALWARE_TYPE_CODE[MalwareType.PUP]] = SOURCES.index("pup")
+    source_codes[types == MALWARE_TYPE_CODE[MalwareType.DROPPER]] = SOURCES.index("dropper")
+    source_codes[labels == FILE_LABEL_CODE[FileLabel.BENIGN]] = SOURCES.index("benign")
+
+    excluded = np.array(
+        [MALWARE_TYPE_CODE[mtype] for mtype in FIG5_EXCLUDED_TYPES],
+        dtype=np.int8,
+    )
+    is_other_malware = (types >= 0) & ~np.isin(types, excluded)
+    is_malicious = labels == FILE_LABEL_CODE[FileLabel.MALICIOUS]
+
+    order = np.argsort(frame.event_machine, kind="stable")
+    machines = frame.event_machine[order]
+    timestamps = frame.event_timestamp[order]
+    source_codes = source_codes[order]
+    is_other_malware = is_other_malware[order]
+    is_malicious = is_malicious[order]
+
+    n_machines = frame.n_machines
+    counts = np.bincount(machines, minlength=n_machines)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+
+    om_positions = np.nonzero(is_other_malware)[0]
+    mal_positions = np.nonzero(is_malicious)[0]
+
+    # First malicious position per machine (sentinel n = none).
+    first_malicious = np.full(n_machines, n, dtype=np.int64)
+    if mal_positions.shape[0]:
+        k = np.searchsorted(mal_positions, starts, side="left")
+        candidate = mal_positions[np.minimum(k, mal_positions.shape[0] - 1)]
+        ok = (k < mal_positions.shape[0]) & (candidate < ends)
+        first_malicious[ok] = candidate[ok]
+
+    if om_positions.shape[0] == 0:
+        return InfectionTimingReport(deltas=deltas, grid=grid)
+
+    for code, source in enumerate(SOURCES):
+        positions = np.nonzero(source_codes == code)[0]
+        if positions.shape[0] == 0:
+            continue
+        k = np.searchsorted(positions, starts, side="left")
+        registration = positions[np.minimum(k, positions.shape[0] - 1)]
+        registered = (k < positions.shape[0]) & (registration < ends)
+
+        j = np.searchsorted(om_positions, registration, side="right")
+        resolution = om_positions[np.minimum(j, om_positions.shape[0] - 1)]
+        resolved = registered & (j < om_positions.shape[0]) & (resolution < ends)
+        if source == "benign":
+            resolved &= ~(first_malicious < registration)
+        selected = np.nonzero(resolved)[0]
+        gaps = timestamps[resolution[selected]] - timestamps[registration[selected]]
+        deltas[source] = [float(gap) for gap in gaps]
+    return InfectionTimingReport(deltas=deltas, grid=grid)
+
+
 def infection_timing(
-    labeled: LabeledDataset, grid: Sequence[float] = DEFAULT_GRID
+    labeled: LabeledDataset,
+    grid: Sequence[float] = DEFAULT_GRID,
+    fast: Optional[bool] = None,
 ) -> InfectionTimingReport:
     """Compute the Figure 5 time-delta distributions.
 
@@ -72,6 +169,9 @@ def infection_timing(
     download.  Machines that never follow up contribute nothing (the
     figure plots the CDF over infected machines).
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _infection_timing_frame(frame, grid)
     deltas: Dict[str, List[float]] = {source: [] for source in SOURCES}
     for machine_events in labeled.dataset.events_by_machine.values():
         first_source: Dict[str, float] = {}

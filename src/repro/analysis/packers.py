@@ -10,10 +10,14 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter, defaultdict
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import FileLabel, MalwareType
+from .common import resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,8 +42,71 @@ def _packed_pct(labeled: LabeledDataset, shas: Set[str]) -> float:
     return 100.0 * packed / len(shas)
 
 
-def packer_report(labeled: LabeledDataset, top_n: int = 5) -> PackerReport:
+def _packer_report_frame(frame: "SessionFrame", top_n: int) -> PackerReport:
+    from .frame import (
+        FILE_LABEL_CODE,
+        MALWARE_TYPES,
+        counts_per_code,
+        np,
+    )
+
+    packed = frame.file_packer >= 0
+    names = frame.packers.values
+
+    def label_mask(label: FileLabel):
+        return frame.file_label == FILE_LABEL_CODE[label]
+
+    def packed_pct(mask) -> float:
+        total = int(mask.sum())
+        if not total:
+            return 0.0
+        return 100.0 * int((mask & packed).sum()) / total
+
+    def packer_names(mask) -> Set[str]:
+        codes = frame.file_packer[mask]
+        codes = codes[codes >= 0]
+        return {names[code] for code in np.unique(codes)}
+
+    benign_mask = label_mask(FileLabel.BENIGN)
+    malicious_mask = label_mask(FileLabel.MALICIOUS)
+    benign_packers = packer_names(benign_mask)
+    malicious_packers = packer_names(malicious_mask)
+
+    per_type: Dict[MalwareType, List[Tuple[str, int]]] = {}
+    typed = frame.file_type >= 0
+    for code in np.unique(frame.file_type[typed & packed]):
+        type_mask = frame.file_type == code
+        counts = counts_per_code(
+            frame.file_packer[type_mask & packed], len(frame.packers)
+        )
+        items = [
+            (names[p], int(counts[p])) for p in np.nonzero(counts)[0]
+        ]
+        per_type[MALWARE_TYPES[int(code)]] = sorted(
+            items, key=lambda i: (-i[1], i[0])
+        )[:top_n]
+
+    return PackerReport(
+        benign_packed_pct=packed_pct(benign_mask),
+        malicious_packed_pct=packed_pct(malicious_mask),
+        unknown_packed_pct=packed_pct(label_mask(FileLabel.UNKNOWN)),
+        # Every packer vocabulary entry was interned from some file
+        # record, so the vocabulary *is* the set of observed packers.
+        total_packers=len(frame.packers),
+        shared_packers=benign_packers & malicious_packers,
+        benign_only_packers=benign_packers - malicious_packers,
+        malicious_only_packers=malicious_packers - benign_packers,
+        packers_per_type=per_type,
+    )
+
+
+def packer_report(
+    labeled: LabeledDataset, top_n: int = 5, fast: Optional[bool] = None
+) -> PackerReport:
     """Compute the Section IV-C packer statistics."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _packer_report_frame(frame, top_n)
     files = labeled.dataset.files
     benign = labeled.files_with_label(FileLabel.BENIGN)
     malicious = labeled.files_with_label(FileLabel.MALICIOUS)

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import FileLabel
+from .common import resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,8 +45,55 @@ class PrevalenceReport:
         return series
 
 
+def _prevalence_report_frame(
+    frame: "SessionFrame", sigma: int
+) -> PrevalenceReport:
+    from .frame import FILE_LABEL_CODE, np
+
+    # ``dataset.file_prevalence`` only covers files with >= 1 event.
+    observed = frame.file_prevalence > 0
+    prevalence = frame.file_prevalence[observed]
+    labels = frame.file_label[observed]
+
+    by_label: Dict[FileLabel, Counter] = {}
+    single_by_label: Dict[FileLabel, float] = {}
+    for label in FileLabel:
+        values = prevalence[labels == FILE_LABEL_CODE[label]]
+        distinct, counts = np.unique(values, return_counts=True)
+        histogram = Counter(
+            dict(zip((int(p) for p in distinct), (int(c) for c in counts)))
+        )
+        by_label[label] = histogram
+        label_total = int(values.shape[0])
+        single_by_label[label] = (
+            histogram[1] / label_total if label_total else 0.0
+        )
+
+    total = int(prevalence.shape[0])
+    single = int((prevalence == 1).sum())
+    capped = int((prevalence >= sigma).sum())
+
+    unknown_mask = (
+        frame.event_file_label() == FILE_LABEL_CODE[FileLabel.UNKNOWN]
+    )
+    unknown_machines = int(
+        np.unique(frame.event_machine[unknown_mask]).shape[0]
+    )
+    machine_total = frame.n_machines
+
+    return PrevalenceReport(
+        distribution_by_label=by_label,
+        single_machine_fraction=single / total if total else 0.0,
+        single_machine_fraction_by_label=single_by_label,
+        capped_fraction=capped / total if total else 0.0,
+        machines_with_unknown_fraction=(
+            unknown_machines / machine_total if machine_total else 0.0
+        ),
+    )
+
+
 def prevalence_report(
-    labeled: LabeledDataset, sigma: int = 20
+    labeled: LabeledDataset, sigma: int = 20, fast: Optional[bool] = None
 ) -> PrevalenceReport:
     """Compute the Figure 2 report.
 
@@ -50,6 +101,9 @@ def prevalence_report(
     reached it are "capped" (their true prevalence may be higher) and
     counted in ``capped_fraction`` -- the paper reports ~0.25%.
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _prevalence_report_frame(frame, sigma)
     prevalence = labeled.dataset.file_prevalence
     by_label: Dict[FileLabel, Counter] = {label: Counter() for label in FileLabel}
     single = 0

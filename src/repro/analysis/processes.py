@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import (
@@ -22,7 +22,10 @@ from ..labeling.labels import (
     browser_from_name,
     categorize_process_name,
 )
-from .common import benign_process_shas
+from .common import benign_process_shas, labeled_events, resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,11 +54,10 @@ def _behavior_row(
     infected: Set[str] = set()
     files_by_label: Dict[FileLabel, Set[str]] = defaultdict(set)
     malicious_files: Set[str] = set()
-    for event in labeled.dataset.events:
+    for event, label in labeled_events(labeled):
         if event.process_sha1 not in process_shas:
             continue
         machines.add(event.machine_id)
-        label = labeled.file_labels[event.file_sha1]
         files_by_label[label].add(event.file_sha1)
         if label == FileLabel.MALICIOUS:
             infected.add(event.machine_id)
@@ -85,14 +87,83 @@ def _behavior_row(
     )
 
 
+def _behavior_row_frame(
+    frame: "SessionFrame", group: str, process_mask
+) -> ProcessBehaviorRow:
+    from .frame import FILE_LABEL_CODE, MALWARE_TYPES, np
+
+    selected = process_mask[frame.event_process]
+    labels = frame.event_file_label()[selected]
+    ev_files = frame.event_file[selected]
+    ev_machines = frame.event_machine[selected]
+
+    machines = int(np.unique(ev_machines).shape[0])
+    malicious = labels == FILE_LABEL_CODE[FileLabel.MALICIOUS]
+    malicious_files = np.unique(ev_files[malicious])
+    infected = int(np.unique(ev_machines[malicious]).shape[0])
+
+    def distinct_files(label: FileLabel) -> int:
+        mask = labels == FILE_LABEL_CODE[label]
+        return int(np.unique(ev_files[mask]).shape[0])
+
+    types = frame.file_type[malicious_files]
+    types = types[types >= 0]
+    type_codes, counts = np.unique(types, return_counts=True)
+    total_typed = int(counts.sum()) if type_codes.shape[0] else 0
+    type_mix = {
+        MALWARE_TYPES[int(code)]: int(count) / total_typed
+        for code, count in zip(type_codes, counts)
+    } if total_typed else {}
+
+    return ProcessBehaviorRow(
+        group=group,
+        processes=int(process_mask.sum()),
+        machines=machines,
+        unknown_files=distinct_files(FileLabel.UNKNOWN),
+        benign_files=distinct_files(FileLabel.BENIGN),
+        malicious_files=int(malicious_files.shape[0]),
+        infected_machine_pct=(
+            100.0 * infected / machines if machines else 0.0
+        ),
+        type_mix=type_mix,
+    )
+
+
+def _benign_active_mask(frame: "SessionFrame"):
+    from .frame import FILE_LABEL_CODE
+
+    benign = frame.process_label == FILE_LABEL_CODE[FileLabel.BENIGN]
+    return benign & frame.active_process_mask()
+
+
+def _benign_process_behavior_frame(
+    frame: "SessionFrame",
+) -> Dict[ProcessCategory, ProcessBehaviorRow]:
+    from .frame import PROCESS_CATEGORY_CODE
+
+    eligible = _benign_active_mask(frame)
+    result: Dict[ProcessCategory, ProcessBehaviorRow] = {}
+    for category in sorted(ProcessCategory, key=lambda c: c.value):
+        mask = eligible & (
+            frame.process_category == PROCESS_CATEGORY_CODE[category]
+        )
+        if not mask.any():
+            continue
+        result[category] = _behavior_row_frame(frame, category.value, mask)
+    return result
+
+
 def benign_process_behavior(
-    labeled: LabeledDataset,
+    labeled: LabeledDataset, fast: Optional[bool] = None
 ) -> Dict[ProcessCategory, ProcessBehaviorRow]:
     """Table X: download behavior of benign processes per category.
 
     Only processes that initiated at least one reported download are
     counted (the dataset has no visibility into idle processes).
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _benign_process_behavior_frame(frame)
     benign = benign_process_shas(labeled)
     active = {event.process_sha1 for event in labeled.dataset.events}
     by_category: Dict[ProcessCategory, Set[str]] = defaultdict(set)
@@ -107,8 +178,28 @@ def benign_process_behavior(
     }
 
 
-def browser_behavior(labeled: LabeledDataset) -> Dict[Browser, ProcessBehaviorRow]:
+def _browser_behavior_frame(
+    frame: "SessionFrame",
+) -> Dict[Browser, ProcessBehaviorRow]:
+    from .frame import BROWSER_CODE
+
+    eligible = _benign_active_mask(frame)
+    result: Dict[Browser, ProcessBehaviorRow] = {}
+    for browser in sorted(Browser, key=lambda b: b.value):
+        mask = eligible & (frame.process_browser == BROWSER_CODE[browser])
+        if not mask.any():
+            continue
+        result[browser] = _behavior_row_frame(frame, browser.value, mask)
+    return result
+
+
+def browser_behavior(
+    labeled: LabeledDataset, fast: Optional[bool] = None
+) -> Dict[Browser, ProcessBehaviorRow]:
     """Table XI: download behavior per benign browser family."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _browser_behavior_frame(frame)
     benign = benign_process_shas(labeled)
     active = {event.process_sha1 for event in labeled.dataset.events}
     by_browser: Dict[Browser, Set[str]] = defaultdict(set)
@@ -125,14 +216,37 @@ def browser_behavior(labeled: LabeledDataset) -> Dict[Browser, ProcessBehaviorRo
     }
 
 
+def _malicious_process_behavior_frame(
+    frame: "SessionFrame",
+) -> Dict[Optional[MalwareType], ProcessBehaviorRow]:
+    from .frame import FILE_LABEL_CODE, MALWARE_TYPE_CODE
+
+    malicious = (
+        frame.process_label == FILE_LABEL_CODE[FileLabel.MALICIOUS]
+    ) & frame.active_process_mask()
+    rows: Dict[Optional[MalwareType], ProcessBehaviorRow] = {}
+    for mtype in sorted(MalwareType, key=lambda t: t.value):
+        mask = malicious & (
+            frame.process_type == MALWARE_TYPE_CODE[mtype]
+        )
+        if not mask.any():
+            continue
+        rows[mtype] = _behavior_row_frame(frame, mtype.value, mask)
+    rows[None] = _behavior_row_frame(frame, "overall", malicious)
+    return rows
+
+
 def malicious_process_behavior(
-    labeled: LabeledDataset,
+    labeled: LabeledDataset, fast: Optional[bool] = None
 ) -> Dict[Optional[MalwareType], ProcessBehaviorRow]:
     """Table XII: download behavior of malicious processes by type.
 
     The ``None`` key holds the "Overall" row across all malicious
     processes.
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _malicious_process_behavior_frame(frame)
     by_type: Dict[MalwareType, Set[str]] = defaultdict(set)
     all_malicious: Set[str] = set()
     active = {event.process_sha1 for event in labeled.dataset.events}
@@ -161,26 +275,80 @@ class UnknownDownloadsRow:
     unknown_downloads: int
 
 
+def _group_of_category(category: ProcessCategory) -> str:
+    if category == ProcessCategory.BROWSER:
+        return "browser"
+    if category == ProcessCategory.OTHER:
+        return "other benign processes"
+    return category.value
+
+
+def _unknown_download_processes_frame(
+    frame: "SessionFrame",
+) -> List[UnknownDownloadsRow]:
+    from .frame import (
+        FILE_LABEL_CODE,
+        PROCESS_CATEGORIES,
+        np,
+        unique_pairs,
+    )
+
+    benign = frame.process_label == FILE_LABEL_CODE[FileLabel.BENIGN]
+    qualifying = (
+        frame.event_file_label() == FILE_LABEL_CODE[FileLabel.UNKNOWN]
+    ) & benign[frame.event_process]
+    categories = frame.event_process_category()[qualifying]
+    files = frame.event_file[qualifying]
+
+    pair_categories, _ = unique_pairs(categories, files, frame.n_files)
+    counts = np.bincount(pair_categories, minlength=len(PROCESS_CATEGORIES))
+
+    # The scalar path sorts groups by descending count only; Python's
+    # stable sort then keeps ties in dict-insertion order, i.e. the
+    # order each group's first qualifying event appeared.  Reproduce it
+    # by ranking ties on that first-appearance position.
+    entries = []
+    for code in np.unique(categories):
+        first_position = int(np.nonzero(categories == code)[0][0])
+        entries.append(
+            (
+                -int(counts[code]),
+                first_position,
+                _group_of_category(PROCESS_CATEGORIES[int(code)]),
+                int(counts[code]),
+            )
+        )
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    rows = [
+        UnknownDownloadsRow(group=group, unknown_downloads=count)
+        for _, _, group, count in entries
+    ]
+    rows.append(
+        UnknownDownloadsRow(
+            group="total",
+            unknown_downloads=sum(row.unknown_downloads for row in rows),
+        )
+    )
+    return rows
+
+
 def unknown_download_processes(
-    labeled: LabeledDataset,
+    labeled: LabeledDataset, fast: Optional[bool] = None
 ) -> List[UnknownDownloadsRow]:
     """Table XIV: unknown files downloaded per benign process category."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _unknown_download_processes_frame(frame)
     benign = benign_process_shas(labeled)
     counts: Dict[str, Set[str]] = defaultdict(set)
-    for event in labeled.dataset.events:
-        if labeled.file_labels[event.file_sha1] != FileLabel.UNKNOWN:
+    for event, label in labeled_events(labeled):
+        if label != FileLabel.UNKNOWN:
             continue
         if event.process_sha1 not in benign:
             continue
         record = labeled.dataset.processes[event.process_sha1]
         category = categorize_process_name(record.executable_name)
-        if category == ProcessCategory.BROWSER:
-            group = "browser"
-        elif category == ProcessCategory.OTHER:
-            group = "other benign processes"
-        else:
-            group = category.value
-        counts[group].add(event.file_sha1)
+        counts[_group_of_category(category)].add(event.file_sha1)
     rows = [
         UnknownDownloadsRow(group=group, unknown_downloads=len(files))
         for group, files in sorted(

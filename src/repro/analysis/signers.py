@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import (
@@ -18,6 +18,10 @@ from ..labeling.labels import (
     ProcessCategory,
     categorize_process_name,
 )
+from .common import resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 def _browser_downloaded_files(labeled: LabeledDataset) -> Set[str]:
@@ -28,6 +32,52 @@ def _browser_downloaded_files(labeled: LabeledDataset) -> Set[str]:
         if categorize_process_name(record.executable_name) == ProcessCategory.BROWSER:
             result.add(event.file_sha1)
     return result
+
+
+def _browser_file_mask(frame: "SessionFrame"):
+    """Per-file bool: downloaded by a browser process at least once."""
+    from .frame import PROCESS_CATEGORY_CODE, np
+
+    browser_events = (
+        frame.event_process_category()
+        == PROCESS_CATEGORY_CODE[ProcessCategory.BROWSER]
+    )
+    mask = np.zeros(frame.n_files, dtype=bool)
+    if frame.n_events:
+        mask[np.unique(frame.event_file[browser_events])] = True
+    return mask
+
+
+def _file_label_mask(frame: "SessionFrame", label: FileLabel):
+    from .frame import FILE_LABEL_CODE
+
+    return frame.file_label == FILE_LABEL_CODE[label]
+
+
+def _file_type_mask(frame: "SessionFrame", mtype: MalwareType):
+    from .frame import MALWARE_TYPE_CODE
+
+    return frame.file_type == MALWARE_TYPE_CODE[mtype]
+
+
+def _signer_set_frame(frame: "SessionFrame", file_mask):
+    """Bool mask over signer codes used by the masked files."""
+    from .frame import np
+
+    mask = np.zeros(len(frame.signers), dtype=bool)
+    codes = frame.file_signer[file_mask]
+    codes = codes[codes >= 0]
+    if codes.shape[0]:
+        mask[np.unique(codes)] = True
+    return mask
+
+
+def _signer_counts_frame_array(frame: "SessionFrame", file_mask):
+    """Per-signer file counts (with multiplicity) for the masked files."""
+    from .frame import counts_per_code
+
+    codes = frame.file_signer[file_mask]
+    return counts_per_code(codes[codes >= 0], len(frame.signers))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,8 +112,46 @@ def _rate_row(
     )
 
 
-def signed_percentages(labeled: LabeledDataset) -> List[SignedRateRow]:
+def _signed_percentages_frame(frame: "SessionFrame") -> List[SignedRateRow]:
+    browser_files = _browser_file_mask(frame)
+    signed = frame.file_signer >= 0
+
+    def row(group: str, mask) -> SignedRateRow:
+        total = int(mask.sum())
+        signed_count = int((mask & signed).sum())
+        from_browser = mask & browser_files
+        browser_total = int(from_browser.sum())
+        browser_signed = int((from_browser & signed).sum())
+        return SignedRateRow(
+            group=group,
+            files=total,
+            signed_pct=100.0 * signed_count / total if total else 0.0,
+            browser_files=browser_total,
+            browser_signed_pct=(
+                100.0 * browser_signed / browser_total if browser_total
+                else 0.0
+            ),
+        )
+
+    rows = [
+        row(mtype.value, _file_type_mask(frame, mtype))
+        for mtype in MalwareType
+    ]
+    rows.append(row("benign", _file_label_mask(frame, FileLabel.BENIGN)))
+    rows.append(row("unknown", _file_label_mask(frame, FileLabel.UNKNOWN)))
+    rows.append(
+        row("malicious", _file_label_mask(frame, FileLabel.MALICIOUS))
+    )
+    return rows
+
+
+def signed_percentages(
+    labeled: LabeledDataset, fast: Optional[bool] = None
+) -> List[SignedRateRow]:
     """Table VI: signed fraction per malicious type and per label class."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _signed_percentages_frame(frame)
     browser_files = _browser_downloaded_files(labeled)
     by_type: Dict[MalwareType, Set[str]] = defaultdict(set)
     for sha, extraction in labeled.file_types.items():
@@ -103,12 +191,45 @@ class SignerCountRow:
     common_with_benign: int
 
 
-def signer_counts(labeled: LabeledDataset) -> Tuple[List[SignerCountRow], SignerCountRow]:
+def _signer_counts_frame(
+    frame: "SessionFrame",
+) -> Tuple[List[SignerCountRow], SignerCountRow]:
+    from .frame import np
+
+    benign_signers = _signer_set_frame(
+        frame, _file_label_mask(frame, FileLabel.BENIGN)
+    )
+    rows = []
+    all_malicious = np.zeros(len(frame.signers), dtype=bool)
+    for mtype in MalwareType:
+        signers = _signer_set_frame(frame, _file_type_mask(frame, mtype))
+        all_malicious |= signers
+        rows.append(
+            SignerCountRow(
+                mtype=mtype,
+                signers=int(signers.sum()),
+                common_with_benign=int((signers & benign_signers).sum()),
+            )
+        )
+    total = SignerCountRow(
+        mtype=None,
+        signers=int(all_malicious.sum()),
+        common_with_benign=int((all_malicious & benign_signers).sum()),
+    )
+    return rows, total
+
+
+def signer_counts(
+    labeled: LabeledDataset, fast: Optional[bool] = None
+) -> Tuple[List[SignerCountRow], SignerCountRow]:
     """Table VII: distinct signers per type and overlap with benign.
 
     Returns (per-type rows, total row); the total row's ``mtype`` is
     ``None``-like (reported under "Total" by the renderer).
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _signer_counts_frame(frame)
     benign_signers = _signers_of(
         labeled, labeled.files_with_label(FileLabel.BENIGN)
     )
@@ -151,8 +272,56 @@ def _top_signer_names(counter: Counter, n: int = 3) -> List[str]:
     )[:n]]
 
 
-def top_signers(labeled: LabeledDataset, n: int = 3) -> List[TopSignersRow]:
+def _top_codes(frame: "SessionFrame", counts, membership, n: int) -> List[str]:
+    """Top-``n`` signer names among counts where ``membership`` holds."""
+    from .frame import np
+
+    names = frame.signers.values
+    selected = np.nonzero((counts > 0) & membership)[0]
+    items = [(names[code], int(counts[code])) for code in selected]
+    return [
+        name for name, _ in
+        sorted(items, key=lambda item: (-item[1], item[0]))[:n]
+    ]
+
+
+def _top_signers_frame(frame: "SessionFrame", n: int) -> List[TopSignersRow]:
+    from .frame import np
+
+    benign_mask = _file_label_mask(frame, FileLabel.BENIGN)
+    malicious_mask = _file_label_mask(frame, FileLabel.MALICIOUS)
+    benign_signers = _signer_set_frame(frame, benign_mask)
+    malicious_signers = _signer_set_frame(frame, malicious_mask)
+    everyone = np.ones(len(frame.signers), dtype=bool)
+
+    groups: List[Tuple[str, object]] = [
+        (mtype.value, _file_type_mask(frame, mtype)) for mtype in MalwareType
+    ]
+    groups.append(("malicious (total)", malicious_mask))
+    groups.append(("benign", benign_mask))
+
+    rows = []
+    for group, file_mask in groups:
+        counts = _signer_counts_frame_array(frame, file_mask)
+        other = malicious_signers if group == "benign" else benign_signers
+        rows.append(
+            TopSignersRow(
+                group=group,
+                top=_top_codes(frame, counts, everyone, n),
+                top_common_with_benign=_top_codes(frame, counts, other, n),
+                top_exclusive=_top_codes(frame, counts, ~other, n),
+            )
+        )
+    return rows
+
+
+def top_signers(
+    labeled: LabeledDataset, n: int = 3, fast: Optional[bool] = None
+) -> List[TopSignersRow]:
     """Table VIII: top signers per type, split common/exclusive vs benign."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _top_signers_frame(frame, n)
     files = labeled.dataset.files
     benign_shas = labeled.files_with_label(FileLabel.BENIGN)
     benign_signers = _signers_of(labeled, benign_shas)
@@ -208,8 +377,37 @@ class ExclusiveSigners:
     malicious: List[Tuple[str, int]]
 
 
-def exclusive_signers(labeled: LabeledDataset, n: int = 10) -> ExclusiveSigners:
+def _exclusive_signers_frame(
+    frame: "SessionFrame", n: int
+) -> ExclusiveSigners:
+    benign_counts = _signer_counts_frame_array(
+        frame, _file_label_mask(frame, FileLabel.BENIGN)
+    )
+    malicious_counts = _signer_counts_frame_array(
+        frame, _file_label_mask(frame, FileLabel.MALICIOUS)
+    )
+
+    def exclusive(counts, other_counts) -> List[Tuple[str, int]]:
+        from .frame import np
+
+        names = frame.signers.values
+        selected = np.nonzero((counts > 0) & (other_counts == 0))[0]
+        items = [(names[code], int(counts[code])) for code in selected]
+        return sorted(items, key=lambda i: (-i[1], i[0]))[:n]
+
+    return ExclusiveSigners(
+        benign=exclusive(benign_counts, malicious_counts),
+        malicious=exclusive(malicious_counts, benign_counts),
+    )
+
+
+def exclusive_signers(
+    labeled: LabeledDataset, n: int = 10, fast: Optional[bool] = None
+) -> ExclusiveSigners:
     """Top signers that signed only benign or only malicious files."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _exclusive_signers_frame(frame, n)
     files = labeled.dataset.files
     benign_counter: Counter = Counter()
     malicious_counter: Counter = Counter()
@@ -233,10 +431,35 @@ def exclusive_signers(labeled: LabeledDataset, n: int = 10) -> ExclusiveSigners:
     )
 
 
+def _shared_signer_scatter_frame(
+    frame: "SessionFrame",
+) -> List[Tuple[str, int, int]]:
+    from .frame import np
+
+    benign_counts = _signer_counts_frame_array(
+        frame, _file_label_mask(frame, FileLabel.BENIGN)
+    )
+    malicious_counts = _signer_counts_frame_array(
+        frame, _file_label_mask(frame, FileLabel.MALICIOUS)
+    )
+    names = frame.signers.values
+    shared = np.nonzero((benign_counts > 0) & (malicious_counts > 0))[0]
+    return sorted(
+        (
+            (names[code], int(malicious_counts[code]), int(benign_counts[code]))
+            for code in shared
+        ),
+        key=lambda item: (-(item[1] + item[2]), item[0]),
+    )
+
+
 def shared_signer_scatter(
-    labeled: LabeledDataset,
+    labeled: LabeledDataset, fast: Optional[bool] = None
 ) -> List[Tuple[str, int, int]]:
     """Figure 4: per shared signer, (name, #malicious files, #benign files)."""
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _shared_signer_scatter_frame(frame)
     files = labeled.dataset.files
     benign_counter: Counter = Counter()
     malicious_counter: Counter = Counter()

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.labels import FileLabel
+from .common import resolve_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .frame import SessionFrame
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,7 +68,79 @@ def _profile(labeled: LabeledDataset, shas: Set[str]) -> ClassProfile:
     )
 
 
-def unknown_characteristics(labeled: LabeledDataset) -> UnknownCharacteristics:
+def _profile_frame(frame: "SessionFrame", mask) -> ClassProfile:
+    from .frame import np
+
+    total = int(mask.sum())
+    if not total:
+        return ClassProfile(0, 0.0, 0.0, 0, 0.0)
+    signed = int((frame.file_signer[mask] >= 0).sum())
+    packed = int((frame.file_packer[mask] >= 0).sum())
+    sizes = np.sort(frame.file_size[mask])
+    # statistics.median: middle element for odd counts, mean of the two
+    # middle elements (a Python float) truncated by int() for even ones.
+    half = total // 2
+    if total % 2:
+        median = int(sizes[half])
+    else:
+        median = int((int(sizes[half - 1]) + int(sizes[half])) / 2)
+    return ClassProfile(
+        files=total,
+        signed_fraction=signed / total,
+        packed_fraction=packed / total,
+        median_size_bytes=median,
+        mean_prevalence=int(frame.file_prevalence[mask].sum()) / total,
+    )
+
+
+def _unknown_characteristics_frame(
+    frame: "SessionFrame",
+) -> UnknownCharacteristics:
+    from .frame import FILE_LABEL_CODE, np
+
+    masks = {
+        label: frame.file_label == FILE_LABEL_CODE[label]
+        for label in (FileLabel.UNKNOWN, FileLabel.BENIGN, FileLabel.MALICIOUS)
+    }
+    profiles = {
+        label: _profile_frame(frame, mask) for label, mask in masks.items()
+    }
+
+    def signer_mask(file_mask):
+        seen = np.zeros(len(frame.signers), dtype=bool)
+        codes = frame.file_signer[file_mask]
+        codes = codes[codes >= 0]
+        if codes.shape[0]:
+            seen[np.unique(codes)] = True
+        return seen
+
+    benign_signers = signer_mask(masks[FileLabel.BENIGN])
+    malicious_signers = signer_mask(masks[FileLabel.MALICIOUS])
+    malicious_only = malicious_signers & ~benign_signers
+    benign_only = benign_signers & ~malicious_signers
+
+    signed_unknowns = frame.file_signer[masks[FileLabel.UNKNOWN]]
+    signed_unknowns = signed_unknowns[signed_unknowns >= 0]
+    total_signed = int(signed_unknowns.shape[0])
+    if total_signed == 0:
+        return UnknownCharacteristics(profiles, 0.0, 0.0, 0.0)
+    overlap_malicious = int(malicious_only[signed_unknowns].sum())
+    overlap_benign = int(benign_only[signed_unknowns].sum())
+    unseen = int(
+        (~malicious_signers[signed_unknowns]
+         & ~benign_signers[signed_unknowns]).sum()
+    )
+    return UnknownCharacteristics(
+        profiles=profiles,
+        signer_overlap_with_malicious=overlap_malicious / total_signed,
+        signer_overlap_with_benign=overlap_benign / total_signed,
+        signer_unseen_fraction=unseen / total_signed,
+    )
+
+
+def unknown_characteristics(
+    labeled: LabeledDataset, fast: Optional[bool] = None
+) -> UnknownCharacteristics:
     """Profile unknown files against benign and malicious files.
 
     The signer-overlap fractions are computed over *signed* unknown
@@ -73,6 +149,9 @@ def unknown_characteristics(labeled: LabeledDataset) -> UnknownCharacteristics:
     Signers seen on both sides count toward neither exclusive bucket
     (a rule learner would reject or conflict on them).
     """
+    frame = resolve_frame(labeled, fast)
+    if frame is not None:
+        return _unknown_characteristics_frame(frame)
     files = labeled.dataset.files
     by_label = {
         label: labeled.files_with_label(label)

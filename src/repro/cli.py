@@ -7,6 +7,7 @@ Twelve subcommands cover the common workflows::
         --chunk-rows 100000
     python -m repro.cli import   store/
     python -m repro.cli report   --scale 0.01 --experiment table1 fig5
+    python -m repro.cli report   --all --scale 1.0 --resources
     python -m repro.cli rules    --scale 0.01 --train-month 0 --tau 0.001
     python -m repro.cli evaluate --scale 0.01 --out results/
     python -m repro.cli run      --scale 0.01 --trace --metrics-out m.json
@@ -90,6 +91,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig5": "render_fig_5",
     "fig6": "render_fig_6",
     "packers": "render_packers",
+    "unknowns": "render_unknown_characteristics",
 }
 
 _NEEDS_ALEXA = {"fig3", "fig6"}
@@ -267,6 +269,10 @@ def _cmd_import(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.all_experiments and args.experiment:
+        print("--all and --experiment are mutually exclusive",
+              file=sys.stderr)
+        return 2
     wanted: List[str] = args.experiment or sorted(_EXPERIMENTS)
     unknown = [name for name in wanted if name not in _EXPERIMENTS]
     if unknown:
@@ -587,6 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment", nargs="*",
         help=f"experiments to render (default: all of "
              f"{', '.join(sorted(_EXPERIMENTS))})",
+    )
+    report.add_argument(
+        "--all", action="store_true", dest="all_experiments",
+        help="render every table and figure from one shared frame build "
+             "(explicit form of the default; rejects --experiment)",
     )
     report.add_argument(
         "--csv-dir", help="also export figure data series as CSVs here"

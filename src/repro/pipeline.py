@@ -45,6 +45,20 @@ class Session:
     labeler: GroundTruthLabeler
     alexa: AlexaService
 
+    def frame(self, with_alexa: bool = True):
+        """The session's memoized columnar analysis frame.
+
+        Delegates to :func:`repro.analysis.frame.session_frame`, which
+        builds the :class:`~repro.analysis.frame.SessionFrame` at most
+        once per labeled dataset (keyed by content digest) -- the ~30
+        table/figure analyses all share it.  ``with_alexa=True`` (the
+        default) attaches the per-domain Alexa rank side table needed by
+        the Figure 3/6 analyses.
+        """
+        from .analysis.frame import session_frame
+
+        return session_frame(self.labeled, self.alexa if with_alexa else None)
+
 
 def build_session(
     config: Optional[WorldConfig] = None,
@@ -179,15 +193,20 @@ def clear_all_caches(disk: bool = False) -> None:
     """Drop every pipeline cache in one call.
 
     Clears the session memo, the world cache
-    (:func:`repro.synth.cache.clear_world_cache`) and the learned-rule
-    memo (:func:`repro.core.evaluation.clear_rule_cache`), which
+    (:func:`repro.synth.cache.clear_world_cache`), the learned-rule
+    memo (:func:`repro.core.evaluation.clear_rule_cache`) and the
+    analysis frame memo
+    (:func:`repro.analysis.frame.clear_frame_cache`), which
     :func:`clear_session_cache` alone leaves populated.  ``disk=True``
     additionally deletes on-disk world-cache entries.  Each layer's
     clear is counted in the metrics registry (``cache.session_clears``,
-    ``cache.world_clears``, ``cache.rule_clears``).
+    ``cache.world_clears``, ``cache.rule_clears``,
+    ``cache.frame_clears``).
     """
+    from .analysis.frame import clear_frame_cache
     from .core.evaluation import clear_rule_cache
 
     clear_session_cache()
     clear_world_cache(disk=disk)
     clear_rule_cache()
+    clear_frame_cache()

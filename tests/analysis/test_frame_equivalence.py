@@ -1,0 +1,233 @@
+"""Scalar-vs-columnar equivalence for every analysis output.
+
+Each analysis function is run twice -- ``fast=False`` (the scalar
+reference implementation) and ``fast=True`` (the shared-frame columnar
+path) -- and the results must be *equal*, not just close: the fast
+paths replicate the scalar float expressions, median semantics and
+tie-breaking exactly.  Checked over the shared session fixtures and
+over randomized hand-built datasets that hit the corners the synthetic
+worlds do not (unlabeled table-only files, missing families, empty
+classes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import analysis
+from repro.analysis import frame as frame_mod
+from repro.labeling.avtype import TypeExtraction
+from repro.labeling.ground_truth import LabeledDataset
+from repro.labeling.labels import FileLabel, MalwareType, UrlLabel
+from repro.labeling.whitelists import AlexaService
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.events import (
+    COLLECTION_DAYS,
+    DownloadEvent,
+    FileRecord,
+    ProcessRecord,
+)
+
+pytestmark = pytest.mark.skipif(
+    not frame_mod.HAVE_NUMPY, reason="SessionFrame requires numpy"
+)
+
+#: Every analysis function under equivalence test, as
+#: ``(name, callable(labeled, alexa, fast))`` pairs -- one entry per
+#: table/figure the reporting layer renders.
+ANALYSES = [
+    ("monthly_summary",
+     lambda lab, alexa, fast: analysis.monthly_summary(lab, fast=fast)),
+    ("family_distribution",
+     lambda lab, alexa, fast: analysis.family_distribution(lab, fast=fast)),
+    ("type_breakdown",
+     lambda lab, alexa, fast: analysis.type_breakdown(lab, fast=fast)),
+    ("prevalence_report",
+     lambda lab, alexa, fast: analysis.prevalence_report(lab, fast=fast)),
+    ("domain_popularity",
+     lambda lab, alexa, fast: analysis.domain_popularity(lab, fast=fast)),
+    ("files_per_domain",
+     lambda lab, alexa, fast: analysis.files_per_domain(lab, fast=fast)),
+    ("domains_per_type",
+     lambda lab, alexa, fast: analysis.domains_per_type(lab, fast=fast)),
+    ("unknown_download_domains",
+     lambda lab, alexa, fast: analysis.unknown_download_domains(
+         lab, fast=fast)),
+    ("alexa_rank_distribution",
+     lambda lab, alexa, fast: analysis.alexa_rank_distribution(
+         lab, alexa, fast=fast)),
+    ("signed_percentages",
+     lambda lab, alexa, fast: analysis.signed_percentages(lab, fast=fast)),
+    ("signer_counts",
+     lambda lab, alexa, fast: analysis.signer_counts(lab, fast=fast)),
+    ("top_signers",
+     lambda lab, alexa, fast: analysis.top_signers(lab, fast=fast)),
+    ("exclusive_signers",
+     lambda lab, alexa, fast: analysis.exclusive_signers(lab, fast=fast)),
+    ("shared_signer_scatter",
+     lambda lab, alexa, fast: analysis.shared_signer_scatter(lab, fast=fast)),
+    ("packer_report",
+     lambda lab, alexa, fast: analysis.packer_report(lab, fast=fast)),
+    ("benign_process_behavior",
+     lambda lab, alexa, fast: analysis.benign_process_behavior(
+         lab, fast=fast)),
+    ("browser_behavior",
+     lambda lab, alexa, fast: analysis.browser_behavior(lab, fast=fast)),
+    ("malicious_process_behavior",
+     lambda lab, alexa, fast: analysis.malicious_process_behavior(
+         lab, fast=fast)),
+    ("unknown_download_processes",
+     lambda lab, alexa, fast: analysis.unknown_download_processes(
+         lab, fast=fast)),
+    ("infection_timing",
+     lambda lab, alexa, fast: analysis.infection_timing(lab, fast=fast)),
+    ("unknown_characteristics",
+     lambda lab, alexa, fast: analysis.unknown_characteristics(
+         lab, fast=fast)),
+]
+
+_PROCESS_NAMES = (
+    "chrome.exe", "firefox.exe", "opera.exe", "safari.exe",
+    "svchost.exe", "explorer.exe", "javaw.exe", "acrord32.exe",
+    "updater.exe", "dropper_helper.exe",
+)
+
+_FILE_LABELS = (
+    [FileLabel.BENIGN] * 4
+    + [FileLabel.MALICIOUS] * 3
+    + [FileLabel.UNKNOWN] * 4
+    + [FileLabel.LIKELY_BENIGN, FileLabel.LIKELY_MALICIOUS]
+)
+
+
+def random_labeled(seed: int, n_files: int = 60, n_machines: int = 20,
+                   n_processes: int = 12, n_events: int = 400):
+    """A randomized labeled dataset plus a matching Alexa service.
+
+    Labeled files are always a subset of event files (the scalar
+    ``file_prevalence`` lookup raises on never-downloaded hashes); a few
+    extra table-only *unlabeled* files exercise the frame's ``ABSENT``
+    paths instead.
+    """
+    rng = random.Random(seed)
+    domains = [f"host{i}.site{i % 5}.example" for i in range(10)]
+    signers = [f"Signer {i}" for i in range(6)] + [None] * 6
+    packers = ["upx", "aspack", "themida"] + [None] * 5
+    families = ["zbot", "sality", "firseria", None]
+
+    event_files = {}
+    for i in range(n_files):
+        sha = f"file{i:04d}"
+        event_files[sha] = FileRecord(
+            sha, f"app{i}.exe", rng.randint(512, 5_000_000),
+            signer=rng.choice(signers), packer=rng.choice(packers),
+        )
+    table_only = {
+        f"orphan{i}": FileRecord(f"orphan{i}", f"orphan{i}.exe", 99)
+        for i in range(3)
+    }
+    processes = {
+        f"proc{i:02d}": ProcessRecord(
+            f"proc{i:02d}", _PROCESS_NAMES[i % len(_PROCESS_NAMES)],
+            signer=rng.choice(signers),
+        )
+        for i in range(n_processes)
+    }
+
+    events = []
+    for i in range(n_events):
+        sha = rng.choice(list(event_files))
+        domain = rng.choice(domains)
+        events.append(DownloadEvent(
+            file_sha1=sha,
+            machine_id=f"m{rng.randrange(n_machines):03d}",
+            process_sha1=f"proc{rng.randrange(n_processes):02d}",
+            url=f"http://{domain}/get/{rng.randrange(40)}",
+            timestamp=rng.uniform(0.0, COLLECTION_DAYS - 0.01),
+        ))
+    # Only downloaded files are labeled; orphans stay out of every map.
+    used = {event.file_sha1 for event in events}
+    file_labels = {sha: rng.choice(_FILE_LABELS) for sha in used}
+    file_types = {}
+    file_families = {}
+    for sha, label in file_labels.items():
+        if label != FileLabel.MALICIOUS:
+            continue
+        if rng.random() < 0.85:  # some malicious files stay untyped
+            file_types[sha] = TypeExtraction(
+                rng.choice(list(MalwareType)), "voting", {})
+        if rng.random() < 0.7:  # and some have no AVclass family
+            file_families[sha] = rng.choice(families)
+    # The real labeler labels every active process and URL (the scalar
+    # summary indexes them unconditionally), so the random one does too.
+    process_labels = {
+        sha: rng.choice((FileLabel.BENIGN, FileLabel.BENIGN,
+                         FileLabel.MALICIOUS, FileLabel.UNKNOWN))
+        for sha in processes
+    }
+    process_types = {
+        sha: TypeExtraction(rng.choice(list(MalwareType)), "voting", {})
+        for sha, label in process_labels.items()
+        if label == FileLabel.MALICIOUS and rng.random() < 0.5
+    }
+    url_labels = {
+        event.url: rng.choice(list(UrlLabel)) for event in events
+    }
+    labeled = LabeledDataset(
+        dataset=TelemetryDataset(
+            events, {**event_files, **table_only}, processes
+        ),
+        file_labels=file_labels,
+        process_labels=process_labels,
+        url_labels=url_labels,
+        file_types=file_types,
+        process_types=process_types,
+        file_families=file_families,
+        type_resolution_fractions={},
+    )
+    # Ranks spanning every Alexa bucket; sites 3/4 stay unranked.
+    alexa = AlexaService({
+        "site0.example": 500,
+        "site1.example": 5_000,
+        "site2.example": 50_000,
+    })
+    return labeled, alexa
+
+
+def assert_equivalent(labeled, alexa):
+    frame_mod.clear_frame_cache()
+    failures = []
+    for name, call in ANALYSES:
+        scalar = call(labeled, alexa, False)
+        fast = call(labeled, alexa, True)
+        if scalar != fast:
+            failures.append(name)
+    assert not failures, f"fast != scalar for: {', '.join(failures)}"
+
+
+class TestSessionEquivalence:
+    def test_small_session(self, small_session):
+        assert_equivalent(small_session.labeled, small_session.alexa)
+
+    def test_medium_session(self, medium_session):
+        assert_equivalent(medium_session.labeled, medium_session.alexa)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_datasets(self, seed):
+        labeled, alexa = random_labeled(seed)
+        assert_equivalent(labeled, alexa)
+
+    def test_sparse_dataset(self):
+        # Few events over many files: most per-class masks are tiny or
+        # empty, exercising the empty-group branches.
+        labeled, alexa = random_labeled(99, n_files=40, n_events=8)
+        assert_equivalent(labeled, alexa)
+
+    def test_single_machine_single_event(self):
+        labeled, alexa = random_labeled(7, n_files=2, n_machines=1,
+                                        n_processes=1, n_events=1)
+        assert_equivalent(labeled, alexa)

@@ -93,6 +93,26 @@ class TestReport:
         assert main(["report", *SCALE, "--experiment", "table99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_all_rejects_experiment_selection(self, capsys):
+        assert main(["report", *SCALE, "--all",
+                     "--experiment", "table2"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_all_builds_frame_exactly_once(self, capsys):
+        pytest.importorskip("numpy")
+        from repro.analysis.frame import clear_frame_cache
+        from repro.obs import metrics as obs_metrics
+
+        clear_frame_cache()
+        builds = obs_metrics.counter("analysis.frame_build")
+        before = builds.value
+        assert main(["report", *SCALE, "--all"]) == 0
+        output = capsys.readouterr().out
+        # Every experiment rendered, off one shared frame build.
+        assert "Table I " in output or "Table I:" in output
+        assert "unknown files" in output.lower()
+        assert builds.value == before + 1
+
 
 class TestRules:
     def test_prints_rules(self, capsys):
