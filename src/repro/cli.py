@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands cover the common workflows::
+Fourteen subcommands cover the common workflows::
 
     python -m repro.cli generate --scale 0.01 --out corpus/
     python -m repro.cli export   --scale 0.01 --out store/ --compress \
@@ -16,6 +16,10 @@ Twelve subcommands cover the common workflows::
         --report-out fidelity_report.json
     python -m repro.cli profile  run --scale 0.01
     python -m repro.cli bench    --check --quick
+    python -m repro.cli serve    --scale 0.01 --out serve-store/ \
+        --agents 4 --lifecycle
+    python -m repro.cli loadgen  --scale 0.01 --out serve-store/ \
+        --rate 50000 --poison-every 1000
 
 ``generate`` exports the telemetry corpus (and its ground truth) as
 JSONL; ``export`` writes the corpus as a versioned, checksummed dataset
@@ -533,6 +537,114 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from .serve import QueuePolicy, ServeConfig
+
+    return ServeConfig(
+        queue_capacity=args.queue_capacity,
+        queue_policy=(
+            QueuePolicy.SHED if args.queue_policy == "shed"
+            else QueuePolicy.BLOCK
+        ),
+        batch_max=args.batch_max,
+        flush_interval=args.flush_interval,
+        compress=args.compress,
+    )
+
+
+def _print_stream_outcome(outcome, *, check_digest: bool) -> int:
+    ingest = outcome.ingest
+    load = outcome.load
+    print(f"agents={load.agents} produced={load.produced} "
+          f"poison_injected={load.poison_injected} "
+          f"stopped_early={load.stopped_early}")
+    print(f"ingested={ingest.ingested} reported={ingest.reported} "
+          f"poisoned={ingest.poisoned} shed={ingest.shed} "
+          f"batches={ingest.batches} resumed_from={ingest.resumed_from}")
+    print(f"throughput={ingest.events_per_sec:,.0f} events/s  "
+          f"p99_ingest_latency={ingest.p99_latency_ms:.2f} ms  "
+          f"queue_max_depth={ingest.queue_max_depth}")
+    print(f"content_digest={ingest.content_digest[:16]}")
+    if outcome.lifecycle is not None:
+        lifecycle = outcome.lifecycle
+        rules = ", ".join(
+            f"m{month}:{count}"
+            for month, count in sorted(lifecycle.rules_per_month.items())
+        )
+        print(f"lifecycle: {lifecycle.observations} observations, "
+              f"{lifecycle.retrains} retrains, "
+              f"{lifecycle.months_closed} months closed "
+              f"({rules}), {len(lifecycle.shifts)} drift shifts, "
+              f"{lifecycle.label_flips} label flips")
+    lossy = ingest.shed > 0 or load.stopped_early
+    if not check_digest:
+        return 0
+    if outcome.digest_match:
+        print("equivalence: OK (streamed store digest == batch collect)")
+        return 0
+    if lossy:
+        print("equivalence: SKIPPED (run was lossy: shed events or an "
+              "early stop); the oracle only covers lossless runs")
+        return 0
+    print("equivalence: FAIL (streamed store digest != batch collect)",
+          file=sys.stderr)
+    return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stream a corpus through the ingestion service; verify equivalence."""
+    from .pipeline import stream_session
+
+    config = _world_config(args)
+    outcome = stream_session(
+        config,
+        args.out,
+        agents=args.agents,
+        serve_config=_serve_config(args),
+        lifecycle=args.lifecycle,
+        matured=not args.live_labels,
+        threaded=not args.inline,
+        rate_per_sec=args.rate,
+        resume=args.resume,
+        jobs=args.jobs,
+    )
+    return _print_stream_outcome(outcome, check_digest=True)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive the service with paced, fault-injected load."""
+    from .pipeline import stream_session
+    from .serve import FaultSchedule, InjectedCrash
+
+    faults = None
+    if (args.poison_every or args.sigterm_after
+            or args.crash_after_parts):
+        faults = FaultSchedule(
+            crash_after_parts=args.crash_after_parts,
+            poison_every=args.poison_every,
+            sigterm_after_events=args.sigterm_after,
+        )
+    config = _world_config(args)
+    try:
+        outcome = stream_session(
+            config,
+            args.out,
+            agents=args.agents,
+            serve_config=_serve_config(args),
+            faults=faults,
+            threaded=not args.inline,
+            rate_per_sec=args.rate,
+            resume=args.resume,
+            jobs=args.jobs,
+        )
+    except InjectedCrash as exc:
+        print(f"injected crash: {exc}", file=sys.stderr)
+        print(f"store checkpoint left in {args.out}; rerun with --resume "
+              f"to recover and finish the stream", file=sys.stderr)
+        return 1
+    return _print_stream_outcome(outcome, check_digest=args.check)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -723,6 +835,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-metric gate tolerance override, e.g. "
                             "wall_seconds=0.35 (repeatable)")
     bench.set_defaults(func=_cmd_bench)
+
+    def _add_serve_arguments(sub: argparse.ArgumentParser) -> None:
+        _add_world_arguments(sub)
+        sub.add_argument("--out", default="serve-store",
+                         help="store directory the service writes "
+                              "(default serve-store)")
+        sub.add_argument("--agents", type=int, default=4,
+                         help="simulated machine agents at the edge "
+                              "(default 4)")
+        sub.add_argument("--batch-max", type=int, default=512,
+                         help="events coalesced per store part "
+                              "(default 512)")
+        sub.add_argument("--flush-interval", type=float, default=0.05,
+                         help="seconds a partial batch may wait before "
+                              "flushing (default 0.05)")
+        sub.add_argument("--queue-capacity", type=int, default=4096,
+                         help="bounded ingest queue depth (default 4096)")
+        sub.add_argument("--queue-policy", choices=("block", "shed"),
+                         default="block",
+                         help="backpressure policy when the queue is full "
+                              "(default block)")
+        sub.add_argument("--compress", action="store_true",
+                         help="gzip the store parts")
+        sub.add_argument("--rate", type=float, default=None,
+                         help="pace producers to this many events/sec "
+                              "(default: unthrottled)")
+        sub.add_argument("--inline", action="store_true",
+                         help="consume on the caller's thread instead of "
+                              "the queue + consumer thread (deterministic "
+                              "part layout)")
+        sub.add_argument("--resume", action="store_true",
+                         help="resume a crashed run from the store's "
+                              "ingest checkpoint")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming ingestion service over a synthetic "
+             "corpus and verify digest equivalence with batch collect",
+    )
+    _add_serve_arguments(serve)
+    serve.add_argument("--lifecycle", action="store_true",
+                       help="tap reported events into the online rule "
+                            "lifecycle (month-boundary retrains + drift "
+                            "detection)")
+    serve.add_argument("--live-labels", action="store_true",
+                       help="with --lifecycle: label files at first sight "
+                            "and refresh via simulated VT rescans instead "
+                            "of matured ground truth")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive the ingestion service with paced, fault-injected "
+             "load (poison records, mid-batch crashes, SIGTERM)",
+    )
+    _add_serve_arguments(loadgen)
+    loadgen.add_argument("--poison-every", type=int, default=None,
+                         metavar="N",
+                         help="splice one undecodable record into the "
+                              "stream every N events")
+    loadgen.add_argument("--crash-after-parts", type=int, default=None,
+                         metavar="N",
+                         help="crash the writer after its Nth store part, "
+                              "before the checkpoint lands")
+    loadgen.add_argument("--sigterm-after", type=int, default=None,
+                         metavar="N",
+                         help="stop producing after N events, as if "
+                              "SIGTERM arrived mid-stream")
+    loadgen.add_argument("--check", action="store_true",
+                         help="also verify digest equivalence (lossy runs "
+                              "are reported, not failed)")
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

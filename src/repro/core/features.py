@@ -94,6 +94,40 @@ class FeatureVector:
         return dict(zip(FEATURE_NAMES, self.values))
 
 
+def process_type_value(process_label: FileLabel, executable_name: str) -> str:
+    """Table XV "process's type": the benign category, or the process
+    label when the process is not known benign."""
+    if process_label == FileLabel.BENIGN:
+        return categorize_process_name(executable_name).value
+    return f"{process_label.value}-process"
+
+
+def feature_values(
+    file_record,
+    proc_record,
+    process_label: FileLabel,
+    alexa_rank: Optional[int],
+) -> Tuple[str, ...]:
+    """The eight Table XV values from the raw ingredients, schema order.
+
+    Pure function shared by the batch :class:`FeatureExtractor` and the
+    streaming rule lifecycle (:mod:`repro.serve`), which builds vectors
+    event-by-event without a :class:`LabeledDataset` in hand.  Both paths
+    producing bytes-identical values is a precondition of the
+    streamed-vs-batch rule equivalence oracle.
+    """
+    return (
+        file_record.signer or UNSIGNED,
+        file_record.ca or NO_CA,
+        file_record.packer or UNPACKED,
+        proc_record.signer or UNSIGNED,
+        proc_record.ca or NO_CA,
+        proc_record.packer or UNPACKED,
+        process_type_value(process_label, proc_record.executable_name),
+        alexa_bin(alexa_rank),
+    )
+
+
 class FeatureExtractor:
     """Extracts Table XV feature vectors from a labeled dataset.
 
@@ -110,31 +144,15 @@ class FeatureExtractor:
         """Feature vector of one file as downloaded by ``event``."""
         files = self._labeled.dataset.files
         processes = self._labeled.dataset.processes
-        file_record = files[file_sha1]
-        proc_record = processes[event.process_sha1]
         return FeatureVector(
             file_sha1=file_sha1,
-            values=(
-                file_record.signer or UNSIGNED,
-                file_record.ca or NO_CA,
-                file_record.packer or UNPACKED,
-                proc_record.signer or UNSIGNED,
-                proc_record.ca or NO_CA,
-                proc_record.packer or UNPACKED,
-                self._process_type(event.process_sha1),
-                alexa_bin(self._alexa.rank(event.e2ld)),
+            values=feature_values(
+                files[file_sha1],
+                processes[event.process_sha1],
+                self._labeled.process_labels[event.process_sha1],
+                self._alexa.rank(event.e2ld),
             ),
         )
-
-    def _process_type(self, process_sha1: str) -> str:
-        """Table XV "process's type": the benign category, or the process
-        label when the process is not known benign."""
-        label = self._labeled.process_labels[process_sha1]
-        if label == FileLabel.BENIGN:
-            record = self._labeled.dataset.processes[process_sha1]
-            category = categorize_process_name(record.executable_name)
-            return category.value
-        return f"{label.value}-process"
 
     def extract_all(
         self, labels: Optional[List[FileLabel]] = None

@@ -44,7 +44,7 @@ class OnlineRuleClassifier:
         self.retrain_interval_days = retrain_interval_days
         self.policy = policy
         self.min_coverage = min_coverage
-        self._observations: List[Tuple[float, Instance]] = []
+        self._observations: List[Tuple[float, Optional[str], Instance]] = []
         self._classifier: Optional[RuleBasedClassifier] = None
         self._last_trained_at: Optional[float] = None
         self.retrain_count = 0
@@ -54,9 +54,22 @@ class OnlineRuleClassifier:
     # ------------------------------------------------------------------
 
     def observe(
-        self, values: Sequence, label: str, timestamp: float
+        self,
+        values: Sequence,
+        label: str,
+        timestamp: float,
+        sha1: Optional[str] = None,
     ) -> None:
-        """Add one labeled observation (feature values + ground truth)."""
+        """Add one labeled observation (feature values + ground truth).
+
+        ``sha1`` optionally names the file the observation came from.
+        When given, retraining orders the window's instances by hash --
+        the same canonical order :meth:`TrainingSet.from_labeled` uses --
+        so a streamed replay reproduces batch
+        :func:`~repro.core.evaluation.learn_rules` exactly (PART's
+        separate-and-conquer loop is order-sensitive).  Without hashes,
+        arrival order is kept.
+        """
         if label not in CLASSES:
             raise ValueError(f"unknown class label {label!r}")
         if self._observations and timestamp < self._observations[-1][0]:
@@ -65,7 +78,7 @@ class OnlineRuleClassifier:
                 f"({timestamp} after {self._observations[-1][0]})"
             )
         self._observations.append(
-            (timestamp, Instance(values=tuple(values), label=label))
+            (timestamp, sha1, Instance(values=tuple(values), label=label))
         )
 
     @property
@@ -77,15 +90,32 @@ class OnlineRuleClassifier:
     # Training
     # ------------------------------------------------------------------
 
-    def retrain(self, now: float) -> RuleSet:
-        """Drop observations outside the window and relearn the rules."""
-        horizon = now - self.window_days
+    def retrain(
+        self, now: float, window_days: Optional[float] = None
+    ) -> RuleSet:
+        """Drop observations outside the window and relearn the rules.
+
+        ``window_days`` overrides the configured window for this one
+        retrain -- rolling *calendar-month* windows need it, since the
+        telemetry months are 28-31 days long (:data:`MONTH_STARTS`), not
+        a fixed 30.
+        """
+        window = self.window_days if window_days is None else window_days
+        if window <= 0:
+            raise ValueError("window must be positive")
+        horizon = now - window
         self._observations = [
-            (timestamp, instance)
-            for timestamp, instance in self._observations
-            if timestamp >= horizon
+            entry for entry in self._observations if entry[0] >= horizon
         ]
-        instances = [instance for _, instance in self._observations]
+        # Stable sort: sha1-keyed observations take TrainingSet's
+        # canonical hash order; unkeyed ones (sha1=None -> "") keep
+        # their arrival order.
+        instances = [
+            entry[2]
+            for entry in sorted(
+                self._observations, key=lambda entry: entry[1] or ""
+            )
+        ]
         learner = PartLearner(self.schema)
         rules = learner.fit(instances)
         selected = rules.select(self.tau, min_coverage=self.min_coverage)

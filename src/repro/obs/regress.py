@@ -306,6 +306,58 @@ def _bench_analysis(scale: float) -> BenchResult:
     )
 
 
+def _bench_serve(scale: float) -> BenchResult:
+    """Streaming ingestion: loadgen -> bounded queue -> store append.
+
+    Replays the session corpus through the full serve path (4 edge
+    agents, index merge, central prevalence filter, batched append
+    session) in threaded mode, so the measured figures are the ones the
+    ISSUE cares about: sustained events/sec through the queue and the
+    p99 arrival-to-durable-append latency.  Digest equality with the
+    batch dataset is asserted -- a bench that drops events would
+    otherwise flatter itself.
+    """
+    from ..pipeline import build_session
+    from ..serve import IngestService, LoadGenerator, ServeConfig
+    from ..synth.world import WorldConfig
+
+    session = build_session(WorldConfig(seed=3, scale=scale))
+    corpus = session.world.corpus
+    files = corpus.file_records()
+    processes = corpus.process_records()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        directory = Path(tmp) / "store"
+        start = time.perf_counter()
+        service = IngestService(
+            directory, files, processes,
+            config=ServeConfig(queue_capacity=8192, batch_max=1024),
+        )
+        service.start()
+        LoadGenerator(corpus.events, agents=4).run_threaded(service)
+        report = service.join()
+        wall = time.perf_counter() - start
+    if report.content_digest != session.dataset.content_digest():
+        raise RuntimeError("serve bench lost events: digest mismatch")
+    return BenchResult(
+        name="serve",
+        wall_seconds=wall,
+        peak_rss_kb=0.0,
+        peak_rss_source="",
+        throughput=report.ingested / wall if wall else None,
+        throughput_units="events/s",
+        params={"scale": scale},
+        extra={
+            "ingested": report.ingested,
+            "reported": report.reported,
+            "batches": report.batches,
+            "p99_latency_ms": round(report.p99_latency_ms, 3),
+            "queue_max_depth": report.queue_max_depth,
+            "agents": 4,
+        },
+    )
+
+
 #: Registered benches: name -> callable(scale) -> BenchResult.  Tests
 #: monkeypatch extra entries in; ``repro bench --bench`` selects subsets.
 BENCHES: Dict[str, Callable[[float], BenchResult]] = {
@@ -313,6 +365,7 @@ BENCHES: Dict[str, Callable[[float], BenchResult]] = {
     "rule_matching": _bench_rule_matching,
     "dataset_io": _bench_dataset_io,
     "analysis": _bench_analysis,
+    "serve": _bench_serve,
 }
 
 

@@ -127,6 +127,107 @@ def build_session(
     return session
 
 
+@dataclasses.dataclass
+class StreamOutcome:
+    """Everything one streamed ingestion run produced.
+
+    ``digest_match`` is the equivalence oracle's verdict: the streamed
+    store's content digest equals the batch-collected dataset's.
+    ``merged_stats`` sums the fleet's edge filter counts with the
+    service's central counts; it must equal batch ``collect`` stats.
+    """
+
+    session: Session
+    ingest: "object"
+    load: "object"
+    lifecycle: Optional["object"]
+    digest_match: bool
+    merged_stats: "object"
+
+
+def stream_session(
+    config: Optional[WorldConfig] = None,
+    directory: Union[str, Path] = "serve-store",
+    *,
+    agents: int = 4,
+    serve_config=None,
+    faults=None,
+    lifecycle: bool = False,
+    matured: bool = True,
+    threaded: bool = False,
+    rate_per_sec: Optional[float] = None,
+    resume: bool = False,
+    jobs: Optional[int] = None,
+) -> StreamOutcome:
+    """Run the streaming ingestion path for one config, end to end.
+
+    Builds (or reuses) the batch session for the config, then replays
+    its raw corpus through a :class:`repro.serve.LoadGenerator` agent
+    fleet into an :class:`repro.serve.IngestService` writing
+    ``directory``.  With ``lifecycle=True`` a
+    :class:`repro.serve.RuleLifecycle` taps the reported stream and
+    retrains rules at every month boundary (``matured=False`` switches
+    its ground truth to rescan-refreshed live labels).  The batch
+    dataset is the oracle: ``digest_match`` and ``merged_stats`` let
+    callers (the CLI, the serve bench, CI) assert equivalence without
+    re-deriving anything.
+    """
+    from .serve import IngestService, LoadGenerator, RuleLifecycle
+
+    session = build_session(config, jobs=jobs)
+    corpus = session.world.corpus
+    files = corpus.file_records()
+    processes = corpus.process_records()
+    rule_lifecycle = None
+    on_reported = None
+    if lifecycle:
+        rule_lifecycle = RuleLifecycle(
+            session.labeler, session.alexa, files, processes, matured=matured
+        )
+        on_reported = rule_lifecycle.observe_event
+    with trace.span(
+        "pipeline.stream_session", agents=agents, threaded=threaded
+    ) as span:
+        service = IngestService(
+            directory,
+            files,
+            processes,
+            config=serve_config,
+            resume=resume,
+            fault_hook=faults.make_fault_hook() if faults else None,
+            on_reported=on_reported,
+        )
+        generator = LoadGenerator(corpus.events, agents=agents, faults=faults)
+        if threaded:
+            service.install_signal_handler()
+            service.start()
+            load_report = generator.run_threaded(
+                service, rate_per_sec=rate_per_sec
+            )
+            ingest_report = service.join()
+        else:
+            load_report = generator.run_inline(service)
+            ingest_report = service._report
+        span.set_attribute("reported", ingest_report.reported)
+    lifecycle_report = (
+        rule_lifecycle.finalize() if rule_lifecycle is not None else None
+    )
+    merged = load_report.edge_stats + ingest_report.stats
+    # Under shedding or an early stop the stream is legitimately lossy;
+    # the oracle only claims equality for complete, lossless runs.
+    digest_match = (
+        ingest_report.content_digest == session.dataset.content_digest()
+    )
+    return StreamOutcome(
+        session=session,
+        ingest=ingest_report,
+        load=load_report,
+        lifecycle=lifecycle_report,
+        digest_match=digest_match,
+        merged_stats=merged,
+    )
+
+
 def export_session(
     session: Session,
     directory: Union[str, Path],

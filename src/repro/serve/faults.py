@@ -1,0 +1,95 @@
+"""Deterministic fault schedules for the streaming ingestion tests.
+
+Faults are *data*, not monkeypatching: a :class:`FaultSchedule` declares
+exactly which failures a run will experience, so the equivalence oracle
+can assert "digest-identical to batch" under a reproducible crash plan
+rather than under luck.  Three fault families map to the three recovery
+mechanisms under test:
+
+* **Crashes** (``crash_after_parts``) raise :class:`InjectedCrash` from
+  the store's ``fault_hook`` -- after a part hits disk but *before* its
+  checkpoint commits, the worst-ordered window -- exercising
+  :class:`repro.telemetry.store.AppendSession` resume.
+* **Poison events** (``poison_every``) splice malformed wire records
+  into the stream, exercising the quarantine path.
+* **SIGTERM** (``sigterm_after_events``) asks the service to stop
+  mid-stream, exercising graceful drain + commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["FaultSchedule", "InjectedCrash", "make_poison_record"]
+
+
+class InjectedCrash(RuntimeError):
+    """A scheduled crash, injected between a part write and its checkpoint."""
+
+
+def make_poison_record(index: int) -> Dict[str, Any]:
+    """A wire record that cannot decode into a ``DownloadEvent``."""
+    return {"garbage": True, "index": index, "file_sha1": None}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """Declarative plan of failures to inject into one serve run.
+
+    Parameters
+    ----------
+    crash_after_parts:
+        Raise :class:`InjectedCrash` when this many event parts have been
+        written (the crash lands *between* the Nth part write and its
+        checkpoint, leaving an orphan part for resume to overwrite).
+    poison_every:
+        After every Nth well-formed record, inject one undecodable
+        record.  Poison is *additional* traffic -- it never replaces a
+        real event, so the expected dataset is unchanged.
+    sigterm_after_events:
+        Deliver a stop request (the SIGTERM handler's path) once this
+        many well-formed records have been produced.
+    """
+
+    crash_after_parts: Optional[int] = None
+    poison_every: Optional[int] = None
+    sigterm_after_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crash_after_parts", "poison_every", "sigterm_after_events"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    def make_fault_hook(self) -> Optional[Callable[[str], None]]:
+        """The store ``fault_hook`` implementing ``crash_after_parts``.
+
+        Returns ``None`` when no crash is scheduled, so unfaulted runs
+        pay zero per-part overhead.
+        """
+        if self.crash_after_parts is None:
+            return None
+        remaining = [self.crash_after_parts]
+
+        def hook(stage: str) -> None:
+            remaining[0] -= 1
+            if remaining[0] <= 0:
+                raise InjectedCrash(f"scheduled crash at {stage}")
+
+        return hook
+
+    def poison_due(self, produced: int) -> bool:
+        """Whether a poison record follows the ``produced``-th real one."""
+        return (
+            self.poison_every is not None
+            and produced > 0
+            and produced % self.poison_every == 0
+        )
+
+    def sigterm_due(self, produced: int) -> bool:
+        """Whether the stop request fires after ``produced`` records."""
+        return (
+            self.sigterm_after_events is not None
+            and produced >= self.sigterm_after_events
+        )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import threading
 from operator import attrgetter
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set
 
@@ -44,6 +45,28 @@ class FilterStats:
         """Plain-dict view, convenient for reporting and assertions."""
         return dataclasses.asdict(self)
 
+    def merge(self, other: "FilterStats") -> "FilterStats":
+        """Fold another stats object into this one (counter-wise sum).
+
+        The serve front-end splits filtering between the edge (agents
+        count ``observed``/``not_executed``/``whitelisted_url``) and the
+        central collector (``over_sigma``/``reported``); merging the two
+        halves must reproduce exactly what single-site :func:`collect`
+        would have counted.
+        """
+        self.observed += other.observed
+        self.reported += other.reported
+        self.not_executed += other.not_executed
+        self.whitelisted_url += other.whitelisted_url
+        self.over_sigma += other.over_sigma
+        return self
+
+    def __iadd__(self, other: "FilterStats") -> "FilterStats":
+        return self.merge(other)
+
+    def __add__(self, other: "FilterStats") -> "FilterStats":
+        return dataclasses.replace(self).merge(other)
+
 
 class CollectionServer:
     """Aggregates agent reports into a telemetry dataset.
@@ -62,38 +85,51 @@ class CollectionServer:
         self._reported: List[DownloadEvent] = []
         self.stats = FilterStats()
         self._last_timestamp = float("-inf")
+        self._lock = threading.Lock()
 
-    def submit(self, event: DownloadEvent) -> bool:
+    def submit(self, event: DownloadEvent, *, prefiltered: bool = False) -> bool:
         """Process one raw event; returns whether it was reported.
 
         Events must be submitted in non-decreasing timestamp order, since
         the prevalence filter is defined over "machines that downloaded
-        before time t".
+        before time t".  Submission is serialized by an internal lock so
+        concurrent submitters (the serve front-end's flush path) never
+        lose counter increments: ``stats.reported + stats.dropped ==
+        stats.observed`` holds at every quiescent point.
+
+        ``prefiltered`` marks an event whose *agent-side* filters
+        (``not_executed``/``whitelisted_url``) already ran at the edge.
+        The server then applies only the central prevalence filter and
+        leaves ``observed``/``not_executed``/``whitelisted_url`` alone --
+        the edge counted those -- so edge stats merged with server stats
+        match single-site filtering exactly (see :meth:`FilterStats.merge`).
         """
-        if event.timestamp < self._last_timestamp:
-            raise ValueError(
-                "events must be submitted in timestamp order "
-                f"({event.timestamp} after {self._last_timestamp})"
-            )
-        self._last_timestamp = event.timestamp
-        self.stats.observed += 1
+        with self._lock:
+            if event.timestamp < self._last_timestamp:
+                raise ValueError(
+                    "events must be submitted in timestamp order "
+                    f"({event.timestamp} after {self._last_timestamp})"
+                )
+            self._last_timestamp = event.timestamp
+            if not prefiltered:
+                self.stats.observed += 1
 
-        reason = self._agent.filter_reason(event)
-        if reason is not None:
-            if reason == "not_executed":
-                self.stats.not_executed += 1
-            else:
-                self.stats.whitelisted_url += 1
-            return False
+                reason = self._agent.filter_reason(event)
+                if reason is not None:
+                    if reason == "not_executed":
+                        self.stats.not_executed += 1
+                    else:
+                        self.stats.whitelisted_url += 1
+                    return False
 
-        machines = self._machines_per_file.setdefault(event.file_sha1, set())
-        if event.machine_id not in machines and len(machines) >= self.policy.sigma:
-            self.stats.over_sigma += 1
-            return False
-        machines.add(event.machine_id)
-        self._reported.append(event)
-        self.stats.reported += 1
-        return True
+            machines = self._machines_per_file.setdefault(event.file_sha1, set())
+            if event.machine_id not in machines and len(machines) >= self.policy.sigma:
+                self.stats.over_sigma += 1
+                return False
+            machines.add(event.machine_id)
+            self._reported.append(event)
+            self.stats.reported += 1
+            return True
 
     def dataset(
         self,

@@ -16,6 +16,30 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Set
 from .events import NUM_MONTHS, DownloadEvent, FileRecord, ProcessRecord
 
 
+def event_digest_line(event: DownloadEvent) -> bytes:
+    """One event's contribution to a dataset content digest.
+
+    Shared between :meth:`TelemetryDataset.content_digest` and the
+    store's incremental append sessions
+    (:class:`repro.telemetry.store.AppendSession`), which must produce
+    the exact same digest without ever materializing the full dataset.
+    """
+    return (
+        f"{event.file_sha1}|{event.machine_id}|{event.process_sha1}"
+        f"|{event.url}|{event.timestamp!r}|{event.executed}\n"
+    ).encode()
+
+
+def file_digest_line(record: FileRecord) -> bytes:
+    """One file record's contribution to a dataset content digest."""
+    return f"F{record!r}\n".encode()
+
+
+def process_digest_line(record: ProcessRecord) -> bytes:
+    """One process record's contribution to a dataset content digest."""
+    return f"P{record!r}\n".encode()
+
+
 class TelemetryDataset:
     """An immutable collection of reported download events with metadata.
 
@@ -98,14 +122,11 @@ class TelemetryDataset:
 
         digest = hashlib.sha256()
         for event in self._events:
-            digest.update(
-                f"{event.file_sha1}|{event.machine_id}|{event.process_sha1}"
-                f"|{event.url}|{event.timestamp!r}|{event.executed}\n".encode()
-            )
+            digest.update(event_digest_line(event))
         for sha in sorted(self._files):
-            digest.update(f"F{self._files[sha]!r}\n".encode())
+            digest.update(file_digest_line(self._files[sha]))
         for sha in sorted(self._processes):
-            digest.update(f"P{self._processes[sha]!r}\n".encode())
+            digest.update(process_digest_line(self._processes[sha]))
         return digest.hexdigest()
 
     def __repr__(self) -> str:

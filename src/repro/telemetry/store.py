@@ -78,19 +78,28 @@ from typing import (
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace
-from .dataset import TelemetryDataset
+from .dataset import (
+    TelemetryDataset,
+    event_digest_line,
+    file_digest_line,
+    process_digest_line,
+)
 from .events import DownloadEvent, FileRecord, ProcessRecord
 
 __all__ = [
+    "CHECKPOINT_FILE",
     "MANIFEST_FILE",
     "QUARANTINE_FILE",
     "SCHEMA",
+    "AppendSession",
     "PartInfo",
     "ReadStats",
     "StoreError",
     "StoreManifest",
     "iter_events",
     "load_dataset",
+    "open_append_session",
+    "quarantine_record",
     "read_files",
     "read_manifest",
     "read_processes",
@@ -102,6 +111,9 @@ SCHEMA = "telemetry-store-v1"
 
 MANIFEST_FILE = "manifest.json"
 QUARANTINE_FILE = "quarantine.jsonl"
+
+#: Append-session checkpoint sidecar (see :class:`AppendSession`).
+CHECKPOINT_FILE = "ingest.json"
 
 _TABLES = ("events", "files", "processes")
 _READ_CHUNK = 1 << 20
@@ -257,6 +269,22 @@ def _write_table(
     return parts
 
 
+def quarantine_record(directory: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append one damage record to the store's quarantine sidecar.
+
+    Shared by the lenient readers and the streaming ingestion service's
+    poison-event path.  Quarantine is best-effort bookkeeping: a
+    read-only store directory must never make the caller fail.
+    """
+    try:
+        with open(
+            Path(directory) / QUARANTINE_FILE, "a", encoding="utf-8"
+        ) as handle:
+            handle.write(json.dumps(record) + "\n")
+    except OSError:
+        pass
+
+
 def _remove_existing(directory: Path) -> None:
     """Drop a previous export so stale parts can never be re-discovered.
 
@@ -264,7 +292,11 @@ def _remove_existing(directory: Path) -> None:
     directory degrades to a legacy (unverified) layout instead of a
     manifest pointing at missing parts.
     """
-    stale = [directory / MANIFEST_FILE, directory / QUARANTINE_FILE]
+    stale = [
+        directory / MANIFEST_FILE,
+        directory / QUARANTINE_FILE,
+        directory / CHECKPOINT_FILE,
+    ]
     for table in _TABLES:
         for pattern in (f"{table}.jsonl*", f"{table}-[0-9]*.jsonl*"):
             stale.extend(directory.glob(pattern))
@@ -335,6 +367,340 @@ def save_dataset(
 
 
 # ----------------------------------------------------------------------
+# Append sessions (streaming ingestion)
+# ----------------------------------------------------------------------
+
+
+class AppendSession:
+    """Incremental, crash-recoverable event ingestion into a store.
+
+    Built for the streaming ingestion service
+    (:mod:`repro.serve`): reported events arrive in flush-sized batches
+    over a long run, and the directory must stay recoverable at every
+    instant.  The protocol::
+
+        session = open_append_session(directory)
+        session.append_events(batch)        # repeatedly, one part each
+        manifest = session.commit(files, processes)
+
+    Guarantees:
+
+    * **Atomic batch commits.**  Every :meth:`append_events` call writes
+      one JSONL part (temp-file + rename, exactly like
+      :func:`save_dataset`) and *then* atomically replaces the
+      checkpoint sidecar (``ingest.json``) recording the committed part
+      list.  The checkpoint replace is the batch's commit point: a crash
+      between the two leaves an orphan part that is overwritten after
+      resume, never a checkpoint pointing at missing data.
+    * **Replay-based resume.**  ``open_append_session(..., resume=True)``
+      reloads the checkpoint, re-verifies every committed part's SHA-256
+      and row count, and rebuilds the incremental content digest.
+      :attr:`events_committed` then tells a deterministic producer how
+      many *reported* events to skip re-appending while it replays its
+      source to rebuild in-memory filter state.
+    * **Digest-exact commits.**  :meth:`commit` writes the metadata
+      tables (narrowed to hashes actually referenced, in first-seen
+      order) and a full :func:`save_dataset`-compatible manifest whose
+      ``content_digest`` equals
+      :meth:`~repro.telemetry.dataset.TelemetryDataset.content_digest`
+      of the equivalent batch-collected dataset -- the streaming
+      equivalence oracle -- without ever holding all events in memory.
+
+    ``fault_hook``, when given, is invoked with a stage string (e.g.
+    ``"part_written:events-00002.jsonl"``) after each part lands but
+    before its checkpoint commits; the fault-injection tests raise from
+    it to exercise the crash window.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        compress: bool,
+        fault_hook: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.directory = directory
+        self.compress = compress
+        self._fault_hook = fault_hook
+        self._parts: List[PartInfo] = []
+        self._hasher = hashlib.sha256()
+        self._file_shas: Dict[str, None] = {}
+        self._proc_shas: Dict[str, None] = {}
+        self.events_committed = 0
+        self._committed = False
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    @property
+    def parts(self) -> Tuple[PartInfo, ...]:
+        """Checkpointed event parts, in append order."""
+        return tuple(self._parts)
+
+    def _suffix(self) -> str:
+        return ".jsonl.gz" if self.compress else ".jsonl"
+
+    def _write_checkpoint(self) -> None:
+        payload = {
+            "schema": SCHEMA,
+            "kind": "append-checkpoint",
+            "compress": self.compress,
+            "events": self.events_committed,
+            "parts": [part.to_dict() for part in self._parts],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        _write_part(
+            self.directory / CHECKPOINT_FILE,
+            [text.encode("utf-8")],
+            compress=False,
+        )
+
+    def append_events(self, events) -> Optional[PartInfo]:
+        """Durably append one batch of reported events as a new part.
+
+        Events must already be in report (timestamp) order and must
+        never be re-appended -- resume skips via
+        :attr:`events_committed`.  Returns the committed part, or
+        ``None`` for an empty batch (no-op).
+        """
+        if self._committed:
+            raise StoreError(
+                f"{CHECKPOINT_FILE}: append after commit is not allowed"
+            )
+        batch = list(events)
+        if not batch:
+            return None
+        name = f"events-{len(self._parts):05d}{self._suffix()}"
+        lines = [_encode_row(event) for event in batch]
+        nbytes, digest = _write_part(
+            self.directory / name, lines, self.compress
+        )
+        if self._fault_hook is not None:
+            self._fault_hook(f"part_written:{name}")
+        part = PartInfo(name, "events", len(batch), nbytes, digest)
+        for event in batch:
+            self._hasher.update(event_digest_line(event))
+            self._file_shas.setdefault(event.file_sha1)
+            self._proc_shas.setdefault(event.process_sha1)
+        self._parts.append(part)
+        self.events_committed += len(batch)
+        self._write_checkpoint()
+        obs_metrics.counter(
+            "store.rows_appended", "Rows appended by store append sessions"
+        ).inc(len(batch))
+        return part
+
+    def quarantine(self, location: str, error: str,
+                   raw: Optional[str] = None) -> None:
+        """Record one poison row in the store's quarantine sidecar."""
+        record: Dict[str, Any] = {"location": location, "error": error}
+        if raw is not None:
+            record["raw"] = raw[:_QUARANTINE_RAW_LIMIT]
+        quarantine_record(self.directory, record)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit(
+        self,
+        files: "Dict[str, FileRecord]",
+        processes: "Dict[str, ProcessRecord]",
+    ) -> StoreManifest:
+        """Seal the session: metadata tables + manifest (manifest last).
+
+        ``files``/``processes`` may be supersets; they are narrowed to
+        the hashes referenced by appended events, in first-seen order
+        (matching :meth:`CollectionServer.dataset` semantics).  Orphan
+        event parts from an interrupted pre-resume run are deleted so
+        they can never shadow the manifest.  The returned manifest's
+        ``content_digest`` matches the batch pipeline's dataset digest.
+        """
+        if self._committed:
+            raise StoreError(f"{MANIFEST_FILE}: session already committed")
+        if not self._parts:
+            # An empty table still gets one (empty) part, so readers can
+            # tell "no events" from "missing file".
+            name = f"events-{0:05d}{self._suffix()}"
+            nbytes, digest = _write_part(
+                self.directory / name, [], self.compress
+            )
+            self._parts.append(PartInfo(name, "events", 0, nbytes, digest))
+            self._write_checkpoint()
+        narrowed_files = {sha: files[sha] for sha in self._file_shas}
+        narrowed_procs = {sha: processes[sha] for sha in self._proc_shas}
+        parts = list(self._parts)
+        parts += _write_table(
+            self.directory, "files", narrowed_files.values(),
+            self.compress, None,
+        )
+        parts += _write_table(
+            self.directory, "processes", narrowed_procs.values(),
+            self.compress, None,
+        )
+        hasher = self._hasher.copy()
+        for sha in sorted(narrowed_files):
+            hasher.update(file_digest_line(narrowed_files[sha]))
+        for sha in sorted(narrowed_procs):
+            hasher.update(process_digest_line(narrowed_procs[sha]))
+        manifest = StoreManifest(
+            schema=SCHEMA,
+            compress=self.compress,
+            chunk_rows=None,
+            counts={
+                "events": self.events_committed,
+                "files": len(narrowed_files),
+                "processes": len(narrowed_procs),
+            },
+            content_digest=hasher.hexdigest(),
+            parts=tuple(parts),
+        )
+        known = {part.name for part in parts}
+        for pattern in ("events.jsonl*", "events-[0-9]*.jsonl*"):
+            for path in self.directory.glob(pattern):
+                if path.name not in known:
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - cleanup race
+                        pass
+        payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+        _write_part(
+            self.directory / MANIFEST_FILE,
+            [payload.encode("utf-8")],
+            compress=False,
+        )
+        try:
+            (self.directory / CHECKPOINT_FILE).unlink()
+        except OSError:  # pragma: no cover - checkpoint already gone
+            pass
+        self._committed = True
+        obs_metrics.counter(
+            "store.sessions_committed", "Append sessions sealed by commit"
+        ).inc()
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+
+    def _resume_from_checkpoint(self) -> None:
+        """Reload committed parts, verifying bytes and rebuilding digests."""
+        path = self.directory / CHECKPOINT_FILE
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(
+                f"{CHECKPOINT_FILE}: unreadable checkpoint: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+            raise StoreError(
+                f"{CHECKPOINT_FILE}: unsupported checkpoint schema "
+                f"{payload.get('schema')!r}"
+            )
+        self.compress = bool(payload.get("compress"))
+        try:
+            listed = [
+                PartInfo(
+                    name=str(entry["name"]),
+                    table=str(entry["table"]),
+                    rows=int(entry["rows"]),
+                    bytes=int(entry["bytes"]),
+                    sha256=str(entry["sha256"]),
+                )
+                for entry in payload.get("parts") or []
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(
+                f"{CHECKPOINT_FILE}: malformed checkpoint: {exc}"
+            ) from exc
+        for info in listed:
+            part_path = self.directory / info.name
+            if not part_path.is_file():
+                raise StoreError(
+                    f"{info.name}: checkpointed part is missing"
+                )
+            rows = 0
+            raw = open(part_path, "rb")
+            hashing = _HashingReader(raw)
+            try:
+                read = (
+                    gzip.GzipFile(fileobj=hashing, mode="rb").read
+                    if info.name.endswith(".gz")
+                    else hashing.read
+                )
+                try:
+                    for line in _iter_lines(read):
+                        if not line.strip():
+                            continue
+                        try:
+                            event = DownloadEvent(**json.loads(line))
+                        except (TypeError, ValueError) as exc:
+                            raise StoreError(
+                                f"{info.name}: invalid checkpointed row: "
+                                f"{exc}"
+                            ) from exc
+                        self._hasher.update(event_digest_line(event))
+                        self._file_shas.setdefault(event.file_sha1)
+                        self._proc_shas.setdefault(event.process_sha1)
+                        rows += 1
+                except (OSError, EOFError, zlib.error) as exc:
+                    raise StoreError(
+                        f"{info.name}: corrupt checkpointed part: {exc}"
+                    ) from exc
+            finally:
+                raw.close()
+            if rows != info.rows or hashing.hasher.hexdigest() != info.sha256:
+                raise StoreError(
+                    f"{info.name}: checkpointed part does not match its "
+                    f"recorded rows/checksum (crash-corrupted store?)"
+                )
+            self._parts.append(info)
+            self.events_committed += rows
+        declared = payload.get("events")
+        if declared is not None and int(declared) != self.events_committed:
+            raise StoreError(
+                f"{CHECKPOINT_FILE}: event count {declared!r} disagrees "
+                f"with part rows ({self.events_committed})"
+            )
+
+
+def open_append_session(
+    directory: Union[str, Path],
+    *,
+    compress: bool = False,
+    resume: bool = False,
+    fault_hook: Optional[Callable[[str], None]] = None,
+) -> AppendSession:
+    """Open (or resume) a streaming :class:`AppendSession`.
+
+    ``resume=False`` starts fresh, removing any previous export in the
+    directory.  ``resume=True`` picks up from the last checkpoint --
+    verifying every committed part -- or starts fresh when no checkpoint
+    exists yet; resuming a directory that was already *committed*
+    (manifest present, checkpoint gone) raises, since a sealed store
+    must not be silently appended to.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    session = AppendSession(path, compress, fault_hook)
+    if resume:
+        if (path / CHECKPOINT_FILE).is_file():
+            session._resume_from_checkpoint()
+            obs_metrics.counter(
+                "store.sessions_resumed",
+                "Append sessions resumed from a checkpoint",
+            ).inc()
+            return session
+        if (path / MANIFEST_FILE).is_file():
+            raise StoreError(
+                f"{MANIFEST_FILE}: store already committed; cannot resume "
+                f"an append session into it"
+            )
+    _remove_existing(path)
+    return session
+
+
+# ----------------------------------------------------------------------
 # Reading
 # ----------------------------------------------------------------------
 
@@ -394,15 +760,7 @@ class _ReadContext:
         self.stats = stats if stats is not None else ReadStats()
 
     def _quarantine(self, record: Dict[str, Any]) -> None:
-        try:
-            with open(
-                self.directory / QUARANTINE_FILE, "a", encoding="utf-8"
-            ) as handle:
-                handle.write(json.dumps(record) + "\n")
-        except OSError:
-            # Quarantine is best-effort bookkeeping; a read-only store
-            # must still be loadable leniently.
-            pass
+        quarantine_record(self.directory, record)
 
     def fault(
         self,

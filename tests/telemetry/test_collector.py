@@ -100,3 +100,79 @@ class TestCollectorOnWorld:
         assert stats.whitelisted_url > 0
         assert stats.over_sigma > 0
         assert stats.reported == len(medium_session.dataset.events)
+
+
+class TestConcurrentSubmission:
+    """Regression: concurrent submitters must never lose counter
+    increments -- ``reported + dropped == observed`` and the prevalence
+    filter's accept count must stay exact under contention."""
+
+    def test_counters_exact_across_threads(self):
+        import threading
+
+        sigma = 5
+        server = CollectionServer(ReportingPolicy(sigma=sigma))
+        files, procs = _tables()
+        per_thread = 200
+        threads = 8
+        outcomes = [0] * threads
+
+        def submit_burst(slot):
+            accepted = 0
+            for index in range(per_thread):
+                # One shared timestamp keeps the ordering contract valid
+                # whatever the interleaving; distinct machines contend
+                # for the same file's sigma budget.
+                event = _event(f"M{slot}-{index}", 1.0)
+                if server.submit(event):
+                    accepted += 1
+            outcomes[slot] = accepted
+
+        workers = [
+            threading.Thread(target=submit_burst, args=(slot,))
+            for slot in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        stats = server.stats
+        submitted = per_thread * threads
+        assert stats.observed == submitted
+        assert stats.reported + stats.dropped == submitted
+        assert stats.reported == sum(outcomes)
+        # Every machine is distinct, so exactly sigma submissions may
+        # pass the prevalence filter; the rest are over_sigma.
+        assert stats.reported == sigma
+        assert stats.over_sigma == submitted - sigma
+        assert len(server.dataset(files, procs)) == sigma
+
+    def test_prefiltered_skips_edge_counters(self):
+        server = CollectionServer(ReportingPolicy(sigma=20))
+        assert server.submit(_event("M0", 0.0), prefiltered=True)
+        stats = server.stats
+        assert stats.observed == 0
+        assert stats.not_executed == 0
+        assert stats.reported == 1
+
+    def test_stats_merge_reassembles_split_filtering(self):
+        from repro.telemetry.collector import FilterStats
+
+        edge = FilterStats(observed=10, not_executed=2, whitelisted_url=1)
+        central = FilterStats(reported=6, over_sigma=1)
+        merged = edge + central
+        assert merged.as_dict() == {
+            "observed": 10,
+            "reported": 6,
+            "not_executed": 2,
+            "whitelisted_url": 1,
+            "over_sigma": 1,
+        }
+        assert merged.dropped == 4
+        # __add__ must not mutate its operands.
+        assert edge.reported == 0 and central.observed == 0
+        folded = FilterStats()
+        folded += edge
+        folded += central
+        assert folded.as_dict() == merged.as_dict()
