@@ -115,6 +115,13 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
                              "`evaluate`, the parallel month-pair fan-out); "
                              "default: one per CPU core. Never affects the "
                              "generated world or the evaluation rows")
+    parser.add_argument("--memory-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="process-tree RSS budget for every worker "
+                             "fan-out in this run; the orchestrator halves "
+                             "its in-flight window instead of OOMing when "
+                             "the budget is exceeded (never changes any "
+                             "output)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the world/session cache and always "
                              "regenerate")
@@ -453,6 +460,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"# run: {len(session.dataset.events)} events, "
           f"{len(session.dataset.files)} files, {len(rules)} rules")
     print("\n# metrics")
+    # Scheduling health must be visible even at zero: a silent fallback
+    # to sequential execution was exactly the bug this counter fixes.
+    obs_metrics.counter(
+        "sched.fallback_sequential",
+        "Stages that degraded to in-process execution because a process "
+        "pool could not be created",
+    )
+    obs_metrics.counter(
+        "sched.degradations",
+        "In-flight window halvings under memory pressure",
+    )
     snapshot = obs_metrics.get_registry().snapshot()
     for name, value in sorted(snapshot["counters"].items()):
         print(f"{name:<40s} {value:g}")
@@ -534,6 +552,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(f"regression gate: OK ({matched}/{len(entries)} benches had "
               f"trajectory history to compare against)", file=sys.stderr)
+    return 0
+
+
+def _cmd_trials(args: argparse.Namespace) -> int:
+    """Run the trial grid: throughput vs memory vs fidelity trade-offs."""
+    from . import sched
+    from .obs import regress
+
+    def _floats(raw: str) -> List[Optional[float]]:
+        values: List[Optional[float]] = []
+        for token in raw.split(","):
+            token = token.strip().lower()
+            if not token:
+                continue
+            values.append(
+                None if token in {"none", "-", "0"} else float(token)
+            )
+        return values or [None]
+
+    jobs_list = [
+        int(token) for token in args.jobs_list.split(",") if token.strip()
+    ]
+    if not jobs_list:
+        print("trials: --jobs-list must name at least one jobs setting",
+              file=sys.stderr)
+        return 2
+    budgets = _floats(args.memory_budgets_mb)
+    depths = [
+        None if value is None else int(value)
+        for value in _floats(args.queue_depths)
+    ]
+    configs = [
+        sched.TrialConfig(jobs=jobs, memory_mb=memory, queue_depth=depth)
+        for jobs in jobs_list
+        for memory in budgets
+        for depth in depths
+    ]
+    report = sched.run_trials(
+        scale=args.scale,
+        seed=args.seed,
+        shards=args.shards,
+        configs=configs,
+        repeats=args.repeats,
+        fidelity=args.fidelity,
+    )
+    print(report.render())
+    if args.out:
+        path = report.write(Path(args.out))
+        print(f"wrote trial report to {path}", file=sys.stderr)
+    if not args.no_append:
+        trajectory = Path(args.trajectory)
+        entries = report.trajectory_entries()
+        regress.append_entries(trajectory, entries)
+        print(f"appended {len(entries)} entries to {trajectory}",
+              file=sys.stderr)
+    if not report.digests_consistent:
+        print("trials: FAIL -- configurations produced different dataset "
+              "digests", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -836,6 +913,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "wall_seconds=0.35 (repeatable)")
     bench.set_defaults(func=_cmd_bench)
 
+    trials = commands.add_parser(
+        "trials",
+        help="run structured repeated trials over jobs/budget settings "
+             "and record throughput-vs-memory-vs-fidelity trade-offs",
+    )
+    trials.add_argument("--scale", type=float, default=0.01,
+                        help="corpus scale for every trial (default 0.01)")
+    trials.add_argument("--seed", type=int, default=3,
+                        help="world seed shared by every trial (default 3)")
+    trials.add_argument("--shards", type=int, default=8,
+                        help="generation shards (default 8)")
+    trials.add_argument("--jobs-list", default="1,2", metavar="N,N,...",
+                        help="jobs settings to sweep (default 1,2)")
+    trials.add_argument("--memory-budgets-mb", default="", metavar="MB,...",
+                        help="memory budgets to sweep; 'none'/'-' (or "
+                             "empty) adds the unconstrained point")
+    trials.add_argument("--queue-depths", default="", metavar="N,...",
+                        help="in-flight window depths to sweep (default: "
+                             "orchestrator default only)")
+    trials.add_argument("--repeats", type=int, default=1,
+                        help="repeated trials per configuration (default 1)")
+    trials.add_argument("--fidelity", action="store_true",
+                        help="additionally label the trial world and score "
+                             "every calibration target on it")
+    trials.add_argument("--out", metavar="PATH",
+                        help="write the trade-off report JSON here")
+    trials.add_argument("--trajectory", metavar="PATH",
+                        default="benchmarks/output/BENCH_trajectory.json",
+                        help="bench trajectory to append curve points to")
+    trials.add_argument("--no-append", action="store_true",
+                        help="measure without recording in the trajectory")
+    trials.set_defaults(func=_cmd_trials)
+
     def _add_serve_arguments(sub: argparse.ArgumentParser) -> None:
         _add_world_arguments(sub)
         sub.add_argument("--out", default="serve-store",
@@ -921,6 +1031,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         obs_trace.enable()
     if track_resources:
         obs_resources.enable()
+    budget_mb = getattr(args, "memory_budget_mb", None)
+    previous_budget = None
+    if budget_mb is not None:
+        from . import sched
+
+        previous_budget = sched.set_default_budget(
+            sched.StageBudget(memory_mb=budget_mb)
+        )
     profile_out = getattr(args, "profile_out", None)
     profiler: Optional[obs_profile.SamplingProfiler] = None
     if profile_out or getattr(args, "profile_force", False):
@@ -952,6 +1070,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     finally:
         if profiler is not None:
             profiler.stop()
+        if previous_budget is not None:
+            from . import sched
+
+            sched.set_default_budget(previous_budget)
         if track_resources:
             obs_resources.disable()
         if tracing:

@@ -31,16 +31,14 @@ Performance shape (this is the pipeline's batch-scoring hot path):
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import sched
 from ..labeling.ground_truth import LabeledDataset
 from ..labeling.whitelists import AlexaService
 from ..obs import metrics as obs_metrics
 from ..obs import trace
-from ..obs import worker as obs_worker
 from ..telemetry.events import MONTH_NAMES, NUM_MONTHS
 from .classifier import (
     ConflictPolicy,
@@ -393,60 +391,27 @@ def full_evaluation(
                     evaluate_month_pair(labeled, alexa, month, taus, policy)
                 )
         else:
-            results, payloads = _evaluate_months_parallel(
-                labeled, alexa, months, taus, policy, workers
+            outcome = sched.run_stage(
+                "core.month_pairs",
+                [
+                    sched.TaskSpec(
+                        fn=_month_pair_worker,
+                        args=(labeled, alexa, month, taus, policy),
+                        tag=month,
+                    )
+                    for month in months
+                ],
+                jobs=workers,
+                parent_span=fan,
             )
-            obs_worker.absorb(payloads, parent_span=fan)
-            for result in results:
+            if outcome.parallel:
+                obs_metrics.counter(
+                    "eval.month_pairs_parallel",
+                    "Month-pair experiments evaluated via the process pool",
+                ).inc(len(months))
+            for result in outcome.results:
                 runs.extend(result)
     return FullEvaluation(runs=runs)
-
-
-def _evaluate_months_parallel(
-    labeled: LabeledDataset,
-    alexa: AlexaService,
-    months: Sequence[int],
-    taus: Sequence[float],
-    policy: ConflictPolicy,
-    workers: int,
-) -> Tuple[List[List[MonthlyEvaluation]], List["obs_worker.ObsPayload"]]:
-    """Fan month pairs over a process pool; fall back to sequential.
-
-    Returns ``(results, payloads)``: one :class:`obs_worker.ObsPayload`
-    per month pair carrying the worker's spans and counters.  Any
-    :class:`OSError` while setting up multiprocessing (no /dev/shm,
-    seccomp'd clone, ...) degrades to the in-process path, which
-    produces identical results by construction -- and no payloads,
-    since that path records straight into the parent's obs.
-    """
-    obs = obs_worker.current_config()
-    mp_context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        mp_context = multiprocessing.get_context("fork")
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=mp_context
-        ) as pool:
-            futures = [
-                pool.submit(
-                    obs_worker.run_task, obs, month, _month_pair_worker,
-                    labeled, alexa, month, taus, policy,
-                )
-                for month in months
-            ]
-            pairs = [future.result() for future in futures]
-    except (OSError, PermissionError):
-        return [
-            evaluate_month_pair(labeled, alexa, month, taus, policy)
-            for month in months
-        ], []
-    obs_metrics.counter(
-        "eval.month_pairs_parallel",
-        "Month-pair experiments evaluated via the process pool",
-    ).inc(len(months))
-    return [result for result, _ in pairs], [
-        payload for _, payload in pairs
-    ]
 
 
 def validate_against_latent(

@@ -1,0 +1,39 @@
+"""Resource-governed scheduling: the run orchestrator and trial harness.
+
+``orchestrator``
+    :class:`TaskSpec`/:class:`Orchestrator` -- the single owner of all
+    pool/job management: CPU and memory budgets read from ``/proc``,
+    bounded-queue backpressure, graceful degradation under memory
+    pressure, and cross-process telemetry via
+    :func:`repro.obs.worker.run_task`.
+``trials``
+    Structured repeated trials over run configurations recording
+    throughput-vs-memory-vs-fidelity trade-off curves (``repro trials``).
+
+See ``docs/orchestrator.md`` for the architecture discussion.
+"""
+
+from .orchestrator import (
+    Orchestrator,
+    StageBudget,
+    StageOutcome,
+    TaskSpec,
+    default_budget,
+    run_stage,
+    set_default_budget,
+)
+from .trials import TrialConfig, TrialReport, TrialResult, run_trials
+
+__all__ = [
+    "Orchestrator",
+    "StageBudget",
+    "StageOutcome",
+    "TaskSpec",
+    "TrialConfig",
+    "TrialReport",
+    "TrialResult",
+    "default_budget",
+    "run_stage",
+    "run_trials",
+    "set_default_budget",
+]

@@ -1,0 +1,370 @@
+"""Structured trial harness: throughput vs memory vs fidelity curves.
+
+``repro trials`` answers the scheduling question the orchestrator poses:
+*what do a jobs setting and a memory budget actually buy?*  It runs the
+same cold world generation repeatedly over a grid of
+:class:`TrialConfig` settings (jobs x memory budget x queue depth),
+measuring for every trial
+
+* **throughput** -- events generated per wall-clock second,
+* **memory** -- the peak process-tree RSS sampled during the trial
+  (parent plus pool workers, from ``/proc``),
+* **governance** -- how often the orchestrator degraded its in-flight
+  window or fell back to sequential execution,
+
+and asserting the one invariant that makes the grid comparable at all:
+every configuration produces the **same dataset content digest**.
+Fidelity is the third axis: with ``fidelity=True`` the world is labeled
+once and scored against every calibration target, which pins the
+quality of the (digest-identical) corpus the trade-off curve refers to.
+
+Results land in a JSON report and, optionally, in the bench trajectory
+(``benchmarks/output/BENCH_trajectory.json``) under the ``sched_trials``
+bench name, one entry per configuration, so ``repro bench --check``'s
+regression gate covers scheduling throughput like any other hot path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import metrics as obs_metrics
+from ..obs import regress, resources, trace
+from .orchestrator import StageBudget, set_default_budget
+
+__all__ = [
+    "TrialConfig",
+    "TrialReport",
+    "TrialResult",
+    "run_trials",
+]
+
+#: Schema tag of the trials report JSON.
+SCHEMA = "sched-trials-v1"
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialConfig:
+    """One point of the trial grid."""
+
+    jobs: int = 1
+    memory_mb: Optional[float] = None
+    queue_depth: Optional[int] = None
+
+    def label(self) -> str:
+        parts = [f"jobs={self.jobs}"]
+        if self.memory_mb is not None:
+            parts.append(f"mem={self.memory_mb:g}MB")
+        if self.queue_depth is not None:
+            parts.append(f"depth={self.queue_depth}")
+        return " ".join(parts)
+
+    def budget(self) -> StageBudget:
+        return StageBudget(
+            memory_mb=self.memory_mb, queue_depth=self.queue_depth
+        )
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """One trial execution's measurements."""
+
+    jobs: int
+    memory_mb: Optional[float]
+    queue_depth: Optional[int]
+    repeat: int
+    wall_seconds: float
+    events: int
+    throughput: float
+    peak_tree_rss_kb: float
+    degradations: int
+    fallbacks: int
+    digest: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["wall_seconds"] = round(self.wall_seconds, 4)
+        payload["throughput"] = round(self.throughput, 2)
+        payload["peak_tree_rss_kb"] = round(self.peak_tree_rss_kb, 1)
+        return payload
+
+
+@dataclasses.dataclass
+class TrialReport:
+    """The full grid's results plus the cross-config invariants."""
+
+    scale: float
+    seed: int
+    shards: int
+    repeats: int
+    trials: List[TrialResult]
+    digests_consistent: bool
+    fidelity: Optional[Dict[str, Any]] = None
+
+    def curve(self) -> List[Dict[str, Any]]:
+        """Median-over-repeats summary per configuration, grid order."""
+        by_config: Dict[Any, List[TrialResult]] = {}
+        order: List[Any] = []
+        for trial in self.trials:
+            key = (trial.jobs, trial.memory_mb, trial.queue_depth)
+            if key not in by_config:
+                by_config[key] = []
+                order.append(key)
+            by_config[key].append(trial)
+        points = []
+        for key in order:
+            group = by_config[key]
+            jobs, memory_mb, queue_depth = key
+            points.append(
+                {
+                    "jobs": jobs,
+                    "memory_mb": memory_mb,
+                    "queue_depth": queue_depth,
+                    "wall_seconds": round(
+                        statistics.median(t.wall_seconds for t in group), 4
+                    ),
+                    "throughput": round(
+                        statistics.median(t.throughput for t in group), 2
+                    ),
+                    "peak_tree_rss_kb": round(
+                        max(t.peak_tree_rss_kb for t in group), 1
+                    ),
+                    "degradations": max(t.degradations for t in group),
+                    "fallbacks": max(t.fallbacks for t in group),
+                    "repeats": len(group),
+                }
+            )
+        return points
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "config": {
+                "scale": self.scale,
+                "seed": self.seed,
+                "shards": self.shards,
+                "repeats": self.repeats,
+            },
+            "digests_consistent": self.digests_consistent,
+            "fidelity": self.fidelity,
+            "curve": self.curve(),
+            "trials": [trial.as_dict() for trial in self.trials],
+        }
+
+    def write(self, path: Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"Trial sweep: scale={self.scale} seed={self.seed} "
+            f"shards={self.shards} repeats={self.repeats} "
+            f"digests_consistent={self.digests_consistent}",
+            f"{'jobs':>4} {'mem_mb':>8} {'depth':>5} {'wall_s':>8} "
+            f"{'events/s':>10} {'peak_mb':>8} {'degr':>4} {'fall':>4}",
+        ]
+        for point in self.curve():
+            memory = (
+                f"{point['memory_mb']:g}" if point["memory_mb"] is not None
+                else "-"
+            )
+            depth = (
+                str(point["queue_depth"]) if point["queue_depth"] is not None
+                else "-"
+            )
+            lines.append(
+                f"{point['jobs']:>4} {memory:>8} {depth:>5} "
+                f"{point['wall_seconds']:>8.3f} {point['throughput']:>10.1f} "
+                f"{point['peak_tree_rss_kb'] / 1024.0:>8.1f} "
+                f"{point['degradations']:>4} {point['fallbacks']:>4}"
+            )
+        if self.fidelity:
+            lines.append(
+                f"fidelity: {self.fidelity['verdict']} "
+                f"({self.fidelity['pass']} pass, {self.fidelity['fail']} "
+                f"fail, {self.fidelity['skipped']} skipped)"
+            )
+        return "\n".join(lines)
+
+    def trajectory_entries(self) -> List[Dict[str, Any]]:
+        """One bench-trajectory entry per configuration (curve point)."""
+        entries = []
+        for point in self.curve():
+            result = regress.BenchResult(
+                name="sched_trials",
+                wall_seconds=point["wall_seconds"],
+                peak_rss_kb=point["peak_tree_rss_kb"],
+                peak_rss_source="tree_rss_sampled",
+                throughput=point["throughput"],
+                throughput_units="events/s",
+                params={
+                    "scale": self.scale,
+                    "jobs": point["jobs"],
+                    "memory_mb": point["memory_mb"],
+                    "queue_depth": point["queue_depth"],
+                },
+                extra={
+                    "degradations": point["degradations"],
+                    "fallbacks": point["fallbacks"],
+                    "digests_consistent": self.digests_consistent,
+                },
+            )
+            entries.append(regress.entry_from_result(result))
+        return entries
+
+
+class _TreeRssSampler:
+    """Samples the process tree's RSS on a background thread.
+
+    The kernel's VmHWM watermark only covers the parent; a trial's
+    memory footprint lives mostly in its fork workers.  Sampling
+    :func:`repro.obs.resources.tree_rss_kb` at a fixed cadence gives an
+    honest (slightly under-sampled) peak for parent + children.
+    """
+
+    def __init__(self, interval_s: float = 0.05) -> None:
+        self._interval = interval_s
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.peak_kb = 0.0
+
+    def __enter__(self) -> "_TreeRssSampler":
+        self.peak_kb = resources.tree_rss_kb()
+
+        def loop() -> None:
+            while not self._stop.wait(self._interval):
+                self.peak_kb = max(self.peak_kb, resources.tree_rss_kb())
+
+        self._thread = threading.Thread(
+            target=loop, name="trial-rss-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        self.peak_kb = max(self.peak_kb, resources.tree_rss_kb())
+
+
+def _counter_value(name: str) -> float:
+    return obs_metrics.counter(name).value
+
+
+def run_trials(
+    scale: float = 0.01,
+    seed: int = 3,
+    shards: int = 8,
+    configs: Optional[Sequence[TrialConfig]] = None,
+    repeats: int = 1,
+    fidelity: bool = False,
+) -> TrialReport:
+    """Run the trial grid and return the trade-off report.
+
+    Every trial is a *cold* generation (world cache bypassed) of the
+    same ``(seed, scale, shards)`` world under the trial's budget, so
+    wall time and memory are comparable across the grid and the digest
+    invariant is meaningful.  ``fidelity=True`` additionally labels the
+    corpus once and evaluates every calibration target on it.
+    """
+    from ..synth.world import World, WorldConfig
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if configs is None:
+        configs = [TrialConfig(jobs=1), TrialConfig(jobs=2)]
+    world_config = WorldConfig(seed=seed, scale=scale, shards=shards)
+    trials: List[TrialResult] = []
+    digests: List[str] = []
+    with trace.span(
+        "sched.trials", scale=scale, configs=len(configs), repeats=repeats
+    ) as span:
+        for config in configs:
+            for repeat in range(repeats):
+                previous = set_default_budget(config.budget())
+                try:
+                    degradations_before = _counter_value("sched.degradations")
+                    fallbacks_before = _counter_value(
+                        "sched.fallback_sequential"
+                    )
+                    with _TreeRssSampler() as sampler:
+                        start = time.perf_counter()
+                        dataset = World(
+                            world_config, jobs=config.jobs
+                        ).collect()
+                        wall = time.perf_counter() - start
+                finally:
+                    set_default_budget(previous)
+                digest = dataset.content_digest()
+                digests.append(digest)
+                trials.append(
+                    TrialResult(
+                        jobs=config.jobs,
+                        memory_mb=config.memory_mb,
+                        queue_depth=config.queue_depth,
+                        repeat=repeat,
+                        wall_seconds=wall,
+                        events=len(dataset.events),
+                        throughput=(
+                            len(dataset.events) / wall if wall else 0.0
+                        ),
+                        peak_tree_rss_kb=sampler.peak_kb,
+                        degradations=int(
+                            _counter_value("sched.degradations")
+                            - degradations_before
+                        ),
+                        fallbacks=int(
+                            _counter_value("sched.fallback_sequential")
+                            - fallbacks_before
+                        ),
+                        digest=digest,
+                    )
+                )
+                obs_metrics.counter(
+                    "sched.trials", "Trial harness executions"
+                ).inc()
+        consistent = len(set(digests)) <= 1
+        fidelity_summary = None
+        if fidelity:
+            fidelity_summary = _evaluate_fidelity(world_config)
+        span.set_attribute("digests_consistent", consistent)
+    return TrialReport(
+        scale=scale,
+        seed=seed,
+        shards=shards,
+        repeats=repeats,
+        trials=trials,
+        digests_consistent=consistent,
+        fidelity=fidelity_summary,
+    )
+
+
+def _evaluate_fidelity(world_config: Any) -> Dict[str, Any]:
+    """Label the trial world once and score every calibration target."""
+    from ..pipeline import build_session
+    from ..validation import DEFAULT_P_FLOOR, evaluate_session
+
+    session = build_session(world_config)
+    results = evaluate_session(session, p_floor=DEFAULT_P_FLOOR)
+    counts = {"pass": 0, "fail": 0, "skipped": 0}
+    for result in results:
+        counts[result.verdict] += 1
+    return {
+        **counts,
+        "verdict": "fail" if counts["fail"] else "pass",
+        "targets": {
+            result.name: result.verdict for result in results
+        },
+    }

@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Salt mixed into every cache key.  Bump on any intentional change to
 #: the generated corpus (new RNG layout, calibration change, ...).
-GENERATOR_VERSION = "engine-v1"
+GENERATOR_VERSION = "engine-v2"
 
 #: Environment variable naming the on-disk cache directory.  Unset or
 #: empty disables the disk layer (the in-memory layer still applies).

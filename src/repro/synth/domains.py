@@ -10,6 +10,7 @@ distinctive hosting profile (Table V).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -50,20 +51,89 @@ _CATEGORY_SHAPE: Dict[str, Tuple[int, float, int, int]] = {
     UPDATE: (0, 1.0, 1, 100),
 }
 
-#: URL reputation per category: (P(url benign), P(url malicious)).
-#: Calibrated so overall URL label fractions approach Table I's
-#: 29.8% benign / 15.1% malicious.
+#: URL reputation per category: (benign weight fraction, malicious
+#: weight fraction).  These are *budgets*, not per-domain Bernoulli
+#: probabilities: :func:`_assign_url_reputation` flags whole domains
+#: until the flagged popularity weight matches the fraction, so the
+#: expected per-category URL label mix is hit exactly (up to the
+#: granularity of the heaviest domain) on every seed.  Calibrated so
+#: the event-weighted aggregate matches Table I's
+#: 29.8% benign / 15.1% malicious at scale 1.0.
 _URL_REPUTATION: Dict[str, Tuple[float, float]] = {
-    FILE_HOSTING: (0.90, 0.0),
+    FILE_HOSTING: (0.88, 0.0),
     BUNDLER: (0.12, 0.10),
     STREAMING: (0.15, 0.15),
-    MALWARE_DIST: (0.0, 0.55),
+    MALWARE_DIST: (0.0, 0.80),
     FAKEAV_SOCIAL: (0.0, 0.90),
-    CORPORATE: (0.70, 0.0),
-    PERSONAL: (0.30, 0.02),
-    EXPLOIT: (0.0, 0.45),
+    CORPORATE: (0.50, 0.0),
+    PERSONAL: (0.06, 0.03),
+    EXPLOIT: (0.0, 0.60),
     UPDATE: (1.0, 0.0),
 }
+
+
+def _assign_url_reputation(
+    drafts: List[Tuple[SyntheticDomain, float]],
+    benign_frac: float,
+    malicious_frac: float,
+) -> List[SyntheticDomain]:
+    """Flag domains until each label's popularity-weight budget is spent.
+
+    ``drafts`` pairs every flagless domain with its reputation roll (a
+    seeded uniform draw).  Files pick their home domain by popularity
+    weight, so the weight fraction flagged benign/malicious *is* the
+    expected per-category URL label mix -- spending an explicit weight
+    budget therefore lands the mix on target deterministically, where
+    the per-domain independent Bernoulli it replaces both leaked
+    unranked benign rolls into the malicious pool and put the whole
+    category's mix at the mercy of a handful of heavy seed domains.
+
+    Benign candidates must carry an Alexa rank (the whitelist only
+    yields a BENIGN verdict for top-million-ranked domains) and are
+    taken cheapest roll first; malicious flags go to the remaining
+    domains, highest roll first, so the two passes stay independent.
+    A domain is included while the budget is undershot, skipping any
+    domain that would overshoot by more than the remaining gap.
+    """
+    total = sum(domain.popularity_weight for domain, _ in drafts)
+
+    def spend(budget: float, order: List[int], eligible) -> set:
+        chosen: set = set()
+        spent = 0.0
+        for index in order:
+            domain = drafts[index][0]
+            if not eligible(index, domain):
+                continue
+            weight = domain.popularity_weight
+            if spent + weight <= budget + 1e-9:
+                chosen.add(index)
+                spent += weight
+            elif spent + weight - budget < budget - spent:
+                chosen.add(index)
+                spent += weight
+        return chosen
+
+    ascending = sorted(
+        range(len(drafts)), key=lambda i: (drafts[i][1], drafts[i][0].name)
+    )
+    benign = spend(
+        benign_frac * total,
+        ascending,
+        lambda _, domain: domain.alexa_rank is not None,
+    )
+    malicious = spend(
+        malicious_frac * total,
+        list(reversed(ascending)),
+        lambda index, _: index not in benign,
+    )
+    return [
+        dataclasses.replace(
+            domain,
+            url_benign=index in benign,
+            url_malicious=index in malicious,
+        )
+        for index, (domain, _) in enumerate(drafts)
+    ]
 
 
 class DomainEcosystem:
@@ -108,10 +178,12 @@ class DomainEcosystem:
         scale: float,
     ) -> List[SyntheticDomain]:
         tail_size, rank_prob, rank_low, rank_high = _CATEGORY_SHAPE[category]
-        benign_prob, malicious_prob = _URL_REPUTATION[category]
-        pool: List[SyntheticDomain] = []
+        benign_frac, malicious_frac = _URL_REPUTATION[category]
+        drafts: List[Tuple[SyntheticDomain, float]] = []
 
-        def make(name: str, weight: float, is_seed: bool) -> SyntheticDomain:
+        def make(name: str, weight: float, is_seed: bool) -> None:
+            # Draw order (ranked, rank, roll) is part of the RNG contract:
+            # everything downstream of this generator replays these draws.
             ranked = self._rng.random() < rank_prob
             rank: Optional[int] = None
             if ranked:
@@ -124,19 +196,20 @@ class DomainEcosystem:
                 log_low, log_high = np.log(low), np.log(high)
                 rank = int(np.exp(self._rng.uniform(log_low, log_high)))
             roll = self._rng.random()
-            url_benign = roll < benign_prob and rank is not None
-            url_malicious = (not url_benign) and roll < benign_prob + malicious_prob
-            return SyntheticDomain(
-                name=name,
-                category=category,
-                alexa_rank=rank,
-                popularity_weight=weight,
-                url_benign=url_benign,
-                url_malicious=url_malicious,
+            drafts.append(
+                (
+                    SyntheticDomain(
+                        name=name,
+                        category=category,
+                        alexa_rank=rank,
+                        popularity_weight=weight,
+                    ),
+                    roll,
+                )
             )
 
         for name, weight in seeds:
-            pool.append(make(name, float(weight), is_seed=True))
+            make(name, float(weight), is_seed=True)
         tail_count = calibration.sublinear_scaled(tail_size, scale, minimum=0)
         base_weight = min(
             [weight for _, weight in seeds], default=100.0
@@ -146,8 +219,8 @@ class DomainEcosystem:
             if category == FAKEAV_SOCIAL:
                 suffix = "in" if index % 2 else "pw"
             weight = base_weight / (2.0 + index)
-            pool.append(make(names.domain_name(suffix), weight, is_seed=False))
-        return pool
+            make(names.domain_name(suffix), weight, is_seed=False)
+        return _assign_url_reputation(drafts, benign_frac, malicious_frac)
 
     # ------------------------------------------------------------------
     # Sampling

@@ -18,28 +18,27 @@ processes executed the shards: ``jobs`` is purely an execution knob.
 Execution strategy:
 
 * ``jobs=1`` (or a single shard) runs shards sequentially in-process;
-* ``jobs>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`,
-  preferring the ``fork`` start method so workers inherit the already
-  built shared ecosystems.  On platforms without ``fork`` the workers
-  rebuild the (cheap) ecosystem context once per process from the config;
-  if process pools are unavailable altogether (sandboxes), generation
-  silently falls back to the sequential path -- same output, by design.
+* ``jobs>1`` hands the shards to the run orchestrator
+  (:mod:`repro.sched`), which owns the fork-preferring process pool,
+  the memory/CPU budgets and the in-flight backpressure.  On platforms
+  without ``fork`` the workers rebuild the (cheap) ecosystem context
+  once per process from the config; if process pools are unavailable
+  altogether (sandboxes), the orchestrator falls back to the sequential
+  path -- same output, counted in ``sched.fallback_sequential``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
 from operator import attrgetter
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from .. import sched
 from ..obs import metrics as obs_metrics
 from ..obs import trace
-from ..obs import worker as obs_worker
 from ..telemetry.collector import merge_sorted_streams
 from ..telemetry.events import DownloadEvent
 from .behavior import MachineFactory, ProcessEcosystem
@@ -310,14 +309,27 @@ def generate_world(
                 ]
             else:
                 # Workers record their own shard spans and counters;
-                # the ObsPayloads they return are grafted under this
-                # fan-out span (roots tagged worker=N) so --trace shows
-                # one complete tree and summed counters match jobs=1.
+                # the orchestrator grafts the ObsPayloads they return
+                # under this fan-out span (roots tagged worker=N) so
+                # --trace shows one complete tree and summed counters
+                # match jobs=1.
                 with trace.span(
                     "synth.simulate_shards", workers=workers
                 ) as fan:
-                    results, payloads = _run_parallel(config, workers)
-                    obs_worker.absorb(payloads, parent_span=fan)
+                    outcome = sched.run_stage(
+                        "synth.shards",
+                        [
+                            sched.TaskSpec(
+                                fn=_shard_worker,
+                                args=(config, index),
+                                tag=index,
+                            )
+                            for index in range(config.shards)
+                        ],
+                        jobs=workers,
+                        parent_span=fan,
+                    )
+                    results = outcome.results
         finally:
             # The memo exists to hand workers a pre-built context (via fork)
             # and to dedupe rebuilds inside one worker process; the parent
@@ -339,40 +351,3 @@ def generate_world(
     return context, corpus
 
 
-def _run_parallel(
-    config: "WorldConfig", workers: int
-) -> Tuple[List[ShardResult], List["obs_worker.ObsPayload"]]:
-    """Fan shards out over a process pool; fall back to sequential.
-
-    Returns ``(results, payloads)``: one :class:`obs_worker.ObsPayload`
-    per pool task carrying the worker's spans and counters.  Any
-    :class:`OSError` while setting up multiprocessing (no /dev/shm,
-    seccomp'd clone, ...) degrades to the in-process path, which
-    produces the identical corpus -- and no payloads, because the
-    in-process run records straight into the parent's tracer/registry.
-    """
-    obs = obs_worker.current_config()
-    mp_context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        mp_context = multiprocessing.get_context("fork")
-    try:
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=mp_context
-        ) as pool:
-            futures = [
-                pool.submit(
-                    obs_worker.run_task, obs, index, _shard_worker,
-                    config, index,
-                )
-                for index in range(config.shards)
-            ]
-            pairs = [future.result() for future in futures]
-        return [result for result, _ in pairs], [
-            payload for _, payload in pairs
-        ]
-    except (OSError, PermissionError):
-        context = _worker_context(config)
-        return [
-            simulate_shard(context, config, index)
-            for index in range(config.shards)
-        ], []

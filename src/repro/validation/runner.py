@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from .. import sched
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..synth.cache import GENERATOR_VERSION
@@ -28,6 +29,28 @@ from .report import FidelityReport, TargetResult
 from .targets import DEFAULT_P_FLOOR, TargetSpec, evaluate_session
 
 __all__ = ["run_seed_sweep", "sweep_configs"]
+
+
+def _sweep_seed_worker(
+    config: WorldConfig,
+    jobs: Optional[int],
+    cache: bool,
+    p_floor: float,
+    specs: Optional[Tuple[TargetSpec, ...]],
+) -> List[TargetResult]:
+    """Orchestrator entry point: build and score one seed's world.
+
+    Runs in a pool worker when the sweep is parallel (each seed then
+    generates its shards with ``jobs=1`` -- no nested pools) and
+    in-process when it is not.  Either way the returned
+    :class:`TargetResult` list is a pure function of ``config``, which
+    is what keeps the aggregated report byte-identical whatever the
+    execution mode.
+    """
+    from ..pipeline import build_session  # lazy: pipeline imports us
+
+    session = build_session(config, jobs=jobs, cache=cache)
+    return evaluate_session(session, p_floor=p_floor, specs=specs)
 
 #: Default aggregation quantile (median).
 DEFAULT_QUANTILE = 0.5
@@ -65,26 +88,39 @@ def run_seed_sweep(
 ) -> FidelityReport:
     """Generate ``seeds`` worlds and gate their marginals on the targets.
 
-    ``jobs`` and ``cache`` are execution knobs (generation parallelism
-    and world-cache reuse) and never change the report: worlds are pure
-    functions of their configs and evaluation is deterministic.
+    ``jobs`` and ``cache`` are execution knobs and never change the
+    report: worlds are pure functions of their configs and evaluation
+    is deterministic.  With ``jobs > 1`` the *seeds* fan out over the
+    run orchestrator (:mod:`repro.sched`) -- one worker per seed, each
+    generating its shards sequentially -- which is the right axis to
+    parallelise a sweep on: seeds are fully independent, month pairs
+    and shards within one seed are not.
     """
-    from ..pipeline import build_session  # lazy: pipeline imports us
-
     configs = sweep_configs(
         scale=scale, seeds=seeds, base_seed=base_seed, sigma=sigma,
         shards=shards,
     )
-    per_seed: List[List[TargetResult]] = []
     with trace.span(
         "validate.sweep", scale=scale, seeds=seeds, base_seed=base_seed
     ) as span:
         start = time.perf_counter()
-        for config in configs:
-            session = build_session(config, jobs=jobs, cache=cache)
-            per_seed.append(
-                evaluate_session(session, p_floor=p_floor, specs=specs)
-            )
+        orchestrator = sched.Orchestrator("validate.seeds", jobs=jobs)
+        seed_workers = orchestrator.resolve_workers(len(configs))
+        # Pool workers generate with jobs=1 (no nested pools); the
+        # in-process path keeps the caller's jobs for shard fan-out.
+        inner_jobs = 1 if seed_workers > 1 else jobs
+        outcome = orchestrator.run(
+            [
+                sched.TaskSpec(
+                    fn=_sweep_seed_worker,
+                    args=(config, inner_jobs, cache, p_floor, specs),
+                    tag=config.seed,
+                )
+                for config in configs
+            ],
+            parent_span=span,
+        )
+        per_seed: List[List[TargetResult]] = outcome.results
         report = FidelityReport.aggregate(
             config={"scale": scale, "sigma": sigma, "shards": shards},
             seeds=[config.seed for config in configs],

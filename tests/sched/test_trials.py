@@ -1,0 +1,88 @@
+"""Trial harness: trade-off report schema, invariants, trajectory wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import regress
+from repro.sched import TrialConfig, run_trials
+from repro.sched.trials import SCHEMA, TrialReport, TrialResult
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_trials(
+        scale=0.003,
+        seed=17,
+        shards=2,
+        configs=[TrialConfig(jobs=1), TrialConfig(jobs=2, memory_mb=1.0)],
+        repeats=1,
+    )
+
+
+def test_run_trials_digests_consistent(tiny_report):
+    assert tiny_report.digests_consistent
+    assert len(tiny_report.trials) == 2
+    assert len({t.digest for t in tiny_report.trials}) == 1
+    for trial in tiny_report.trials:
+        assert trial.events > 0
+        assert trial.throughput > 0
+        assert trial.wall_seconds > 0
+        assert trial.peak_tree_rss_kb > 0
+
+
+def test_trial_report_schema_and_write(tiny_report, tmp_path):
+    payload = tiny_report.to_dict()
+    assert payload["schema"] == SCHEMA
+    assert payload["config"]["scale"] == 0.003
+    assert len(payload["curve"]) == 2
+    path = tiny_report.write(tmp_path / "out" / "trials.json")
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded == json.loads(json.dumps(payload))
+
+
+def test_trial_report_render(tiny_report):
+    text = tiny_report.render()
+    assert "digests_consistent=True" in text
+    assert "events/s" in text
+
+
+def test_trajectory_entries_land_under_sched_trials(tiny_report, tmp_path):
+    entries = tiny_report.trajectory_entries()
+    assert len(entries) == 2
+    for entry in entries:
+        assert entry["bench"] == "sched_trials"
+        assert entry["peak_rss_source"] == "tree_rss_sampled"
+        assert entry["extra"]["digests_consistent"] is True
+    trajectory = tmp_path / "trajectory.json"
+    regress.append_entries(trajectory, entries)
+    stored = json.loads(trajectory.read_text(encoding="utf-8"))
+    assert len(stored) == 2
+
+
+def test_curve_medians_over_repeats():
+    def trial(repeat, wall):
+        return TrialResult(
+            jobs=2, memory_mb=None, queue_depth=None, repeat=repeat,
+            wall_seconds=wall, events=100, throughput=100.0 / wall,
+            peak_tree_rss_kb=1000.0 + repeat, degradations=repeat,
+            fallbacks=0, digest="d",
+        )
+
+    report = TrialReport(
+        scale=0.01, seed=3, shards=8, repeats=3,
+        trials=[trial(0, 1.0), trial(1, 3.0), trial(2, 2.0)],
+        digests_consistent=True,
+    )
+    (point,) = report.curve()
+    assert point["wall_seconds"] == 2.0
+    assert point["peak_tree_rss_kb"] == 1002.0
+    assert point["degradations"] == 2
+    assert point["repeats"] == 3
+
+
+def test_run_trials_validates_repeats():
+    with pytest.raises(ValueError):
+        run_trials(repeats=0)

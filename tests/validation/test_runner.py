@@ -72,6 +72,32 @@ class TestSmallSweep:
         assert rerun.to_dict() == baseline.to_dict()
 
 
+class TestParallelSweep:
+    """Seeds fanned out over the orchestrator: byte-identical reports."""
+
+    SWEEP = dict(scale=0.004, seeds=2, base_seed=31, shards=2)
+
+    def test_concurrent_seeds_byte_identical_report(self):
+        from repro.pipeline import clear_all_caches
+
+        clear_all_caches()
+        baseline = run_seed_sweep(**self.SWEEP, jobs=1, cache=False)
+
+        clear_all_caches()
+        parallel_before = obs_metrics.counter("sched.tasks_parallel").value
+        concurrent = run_seed_sweep(**self.SWEEP, jobs=2, cache=False)
+        parallel_delta = (
+            obs_metrics.counter("sched.tasks_parallel").value
+            - parallel_before
+        )
+
+        assert concurrent.to_json() == baseline.to_json()
+        # In environments where process pools work, the two seed workers
+        # must actually have run through the parallel path.
+        if parallel_delta:
+            assert parallel_delta >= 2
+
+
 class TestPipelineHook:
     def test_validate_session_matches_evaluate(
         self, small_session, small_validation_results
